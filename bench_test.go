@@ -1,0 +1,93 @@
+package resccl_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment through
+// the bench harness in Quick mode (reduced sweeps); run the ressclbench
+// CLI without -quick for the full parameter ranges.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure6 -benchtime=1x
+
+import (
+	"testing"
+
+	"github.com/resccl/resccl/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(bench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+	}
+}
+
+// BenchmarkTable1LinkUtilization regenerates Table 1: global link
+// utilization of expert and synthesized plans on the MSCCL backend.
+func BenchmarkTable1LinkUtilization(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure2Breakdown regenerates Fig. 2: primitive time-cost
+// breakdown on the MSCCL runtime (extra-channel idleness, sync blocking).
+func BenchmarkFigure2Breakdown(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFigure3Interpreter regenerates Fig. 3: runtime interpreter vs
+// direct kernel execution.
+func BenchmarkFigure3Interpreter(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFigure4TBParallelism regenerates Fig. 4: single-NIC bandwidth
+// vs number of thread blocks.
+func BenchmarkFigure4TBParallelism(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure6Expert regenerates Fig. 6: expert-designed AllGather
+// and AllReduce bandwidth across buffer sizes on 16 and 32 GPUs.
+func BenchmarkFigure6Expert(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7Synth regenerates Fig. 7: ResCCL speedup over MSCCL on
+// TACCL- and TECCL-synthesized algorithms.
+func BenchmarkFigure7Synth(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFigure8ExtraTopos regenerates Fig. 8: expert algorithms on
+// the 2×4 and 4×4 topologies.
+func BenchmarkFigure8ExtraTopos(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure9ExtraTopos regenerates Fig. 9: synthesized algorithms
+// on the 2×4 and 4×4 topologies.
+func BenchmarkFigure9ExtraTopos(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFigure10aWorkflow regenerates Fig. 10(a): offline workflow
+// phase scalability.
+func BenchmarkFigure10aWorkflow(b *testing.B) { runExperiment(b, "fig10a") }
+
+// BenchmarkFigure10bHPDSvsRR regenerates Fig. 10(b): HPDS vs round-robin
+// scheduling.
+func BenchmarkFigure10bHPDSvsRR(b *testing.B) { runExperiment(b, "fig10b") }
+
+// BenchmarkFigure11V100 regenerates Fig. 11: the V100/100G cluster
+// comparison for HM collectives.
+func BenchmarkFigure11V100(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkTable3TBUtilization regenerates Table 3: TB counts and idle
+// ratios, ResCCL vs MSCCL across four topologies.
+func BenchmarkTable3TBUtilization(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFigure12TBTimeline regenerates Fig. 12: per-TB sync vs
+// execution time with early-release savings on V100.
+func BenchmarkFigure12TBTimeline(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFigure13Training regenerates Fig. 13: end-to-end Megatron
+// training throughput for GPT-3 and T5.
+func BenchmarkFigure13Training(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkAblations regenerates the design-choice ablations
+// (granularity, allocation, scheduling policy, chunk size).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }

@@ -1,0 +1,74 @@
+// Command ressclbench regenerates the paper's evaluation tables and
+// figures from the simulated system.
+//
+// Usage:
+//
+//	ressclbench -list
+//	ressclbench -exp fig6
+//	ressclbench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/resccl/resccl/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list   = flag.Bool("list", false, "list available experiments")
+		format = flag.String("format", "text", "output format: text, csv or markdown")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := bench.Options{Quick: *quick}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Registry()
+	} else {
+		e, err := bench.Find(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			switch *format {
+			case "csv":
+				t.FprintCSV(os.Stdout)
+			case "markdown", "md":
+				t.FprintMarkdown(os.Stdout)
+			default:
+				t.Fprint(os.Stdout)
+			}
+		}
+		if *format == "text" {
+			fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Command ressclc is the ResCCL offline compiler: it reads a ResCCLang
+// program, runs the full backend-optimization workflow (dependency
+// analysis, HPDS scheduling, state-based TB allocation, kernel
+// lowering), verifies the algorithm's collective semantics on the data
+// plane, and reports the compiled plan.
+//
+// Usage:
+//
+//	ressclc -in algo.rcl -nodes 2 -gpus 8 [-policy hpds|rr|seq]
+//	        [-alloc state|conn] [-dump-kernel] [-simulate 1GiB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/resccl/resccl/internal/core"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/rt"
+	"github.com/resccl/resccl/internal/sched"
+	"github.com/resccl/resccl/internal/sim"
+	"github.com/resccl/resccl/internal/topo"
+	"github.com/resccl/resccl/internal/trace"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "ResCCLang source file (required)")
+		nodes    = flag.Int("nodes", 2, "number of servers")
+		gpus     = flag.Int("gpus", 8, "GPUs per server")
+		profile  = flag.String("profile", "a100", "hardware profile: a100 or v100")
+		policy   = flag.String("policy", "hpds", "scheduling policy: hpds, rr or seq")
+		alloc    = flag.String("alloc", "state", "TB allocation: state or conn")
+		dump     = flag.Bool("dump-kernel", false, "print the generated kernel's TB programs")
+		simulate = flag.String("simulate", "", "simulate execution with the given per-rank buffer (e.g. 256MiB, 1GiB)")
+		timeline = flag.Bool("timeline", false, "with -simulate: draw an ASCII Gantt chart of TB activity (first 2 ranks)")
+		execRT   = flag.Int("execute", 0, "run the kernel on the concurrent data-plane runtime with N micro-batches and verify the result")
+		out      = flag.String("out", "", "write the compiled plan (kernel + topology) to this JSON file")
+		analyze  = flag.String("analyze", "", "print the Eq. 3-5 strategy estimates for the given per-rank buffer (e.g. 1GiB)")
+		planIn   = flag.String("plan", "", "load a previously compiled plan file instead of compiling -in")
+	)
+	flag.Parse()
+	if *planIn != "" {
+		runLoadedPlan(*planIn, *simulate, *timeline, *execRT)
+		return
+	}
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prof topo.Profile
+	switch strings.ToLower(*profile) {
+	case "a100":
+		prof = topo.A100()
+	case "v100":
+		prof = topo.V100()
+	default:
+		fatal(fmt.Errorf("unknown profile %q", *profile))
+	}
+	tp := topo.New(*nodes, *gpus, prof)
+
+	opts := core.Options{}
+	switch strings.ToLower(*policy) {
+	case "hpds":
+		opts.Policy = sched.PolicyHPDS
+	case "rr":
+		opts.Policy = sched.PolicyRR
+	case "seq":
+		opts.Policy = sched.PolicySequential
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	switch strings.ToLower(*alloc) {
+	case "state":
+		opts.Alloc = core.AllocStateBased
+	case "conn":
+		opts.Alloc = core.AllocConnectionBased
+	default:
+		fatal(fmt.Errorf("unknown allocation %q", *alloc))
+	}
+
+	c, err := core.CompileDSL(string(src), tp, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm:      %s (%v, %d ranks, %d transfers)\n",
+		c.Algo.Name, c.Algo.Op, c.Algo.NRanks, len(c.Algo.Transfers))
+	fmt.Printf("topology:       %s\n", tp)
+	fmt.Printf("correctness:    data-plane %v postcondition verified\n", c.Algo.Op)
+	fmt.Printf("schedule:       %v, %d tasks in %d sub-pipelines\n",
+		opts.Policy, c.Graph.NTasks(), c.Pipeline.NSubs())
+	fmt.Printf("allocation:     %v, %d TBs total, max %d per GPU\n",
+		opts.Alloc, c.Kernel.NTBs(), c.Kernel.MaxTBsPerRank())
+	fmt.Printf("phases:         parse %v, analyze %v, schedule %v, lower %v (total %v)\n",
+		c.Phases.Parse, c.Phases.Analyze, c.Phases.Schedule, c.Phases.Lower, c.Phases.Total())
+
+	if *analyze != "" {
+		buf, err := parseSize(*analyze)
+		if err != nil {
+			fatal(err)
+		}
+		est, err := core.EstimateStrategies(c.Graph, buf, 1<<20)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("strategy est.:  %s\n", est)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := kernel.Save(c.Kernel, tp, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan:           written to %s\n", *out)
+	}
+	if *dump {
+		dumpKernel(c.Kernel)
+	}
+	if *simulate != "" {
+		buf, err := parseSize(*simulate)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			Topo: tp, Kernel: c.Kernel, BufferBytes: buf, ChunkBytes: 1 << 20,
+			RecordTimeline: *timeline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulation:     %s per rank in %.3f ms → %.1f GB/s algorithm bandwidth (%d micro-batches, link util %.1f%%)\n",
+			*simulate, res.Completion*1e3, res.AlgoBW/1e9, res.Plan.NMicroBatches, 100*res.MeanLinkUtilization())
+		if *timeline {
+			fmt.Println()
+			fmt.Print(trace.RenderTimeline(res, 100, 2))
+		}
+	}
+	if *execRT > 0 {
+		res, err := rt.Execute(rt.Config{Kernel: c.Kernel, MicroBatches: *execRT})
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("runtime:        %d TB goroutines executed %d invocations in %v; all %d micro-batches verified\n",
+			c.Kernel.NTBs(), res.Instances, res.Elapsed.Round(time.Microsecond), *execRT)
+	}
+}
+
+// runLoadedPlan loads a serialized plan and simulates/executes it.
+func runLoadedPlan(path, simulate string, timeline bool, execRT int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	k, tp, err := kernel.Load(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan:           %s (%s mode, %d TBs) on %s\n", k.Name, k.Mode, k.NTBs(), tp)
+	if simulate != "" {
+		buf, err := parseSize(simulate)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Topo: tp, Kernel: k, BufferBytes: buf, ChunkBytes: 1 << 20, RecordTimeline: timeline})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("simulation:     %s per rank in %.3f ms → %.1f GB/s algorithm bandwidth\n",
+			simulate, res.Completion*1e3, res.AlgoBW/1e9)
+		if timeline {
+			fmt.Print(trace.RenderTimeline(res, 100, 2))
+		}
+	}
+	if execRT > 0 {
+		res, err := rt.Execute(rt.Config{Kernel: k, MicroBatches: execRT})
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("runtime:        %d invocations verified across %d micro-batches\n", res.Instances, execRT)
+	}
+}
+
+func dumpKernel(k *kernel.Kernel) {
+	fmt.Println("kernel:")
+	for _, tb := range k.TBs {
+		fmt.Printf("  TB %3d rank %2d (%s) %s, %d slots:\n", tb.ID, tb.Rank, tb.Label, tb.Order, len(tb.Slots))
+		for _, p := range tb.Slots {
+			fmt.Printf("    %v\n", p)
+		}
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "GIB"), strings.HasSuffix(upper, "GB"):
+		mult = 1 << 30
+		s = s[:strings.IndexAny(upper, "Gg")]
+	case strings.HasSuffix(upper, "MIB"), strings.HasSuffix(upper, "MB"):
+		mult = 1 << 20
+		s = s[:strings.IndexAny(upper, "Mm")]
+	case strings.HasSuffix(upper, "KIB"), strings.HasSuffix(upper, "KB"):
+		mult = 1 << 10
+		s = s[:strings.IndexAny(upper, "Kk")]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ressclc:", err)
+	os.Exit(1)
+}

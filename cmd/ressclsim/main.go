@@ -1,0 +1,99 @@
+// Command ressclsim runs the end-to-end distributed-training simulation
+// (§5.5): a Megatron-style GPT-3 or T5 deployment whose collectives are
+// served by the selected backend.
+//
+// Usage:
+//
+//	ressclsim -model gpt3-13b -nodes 2 -gpus 8 -tp 8 -batch 16
+//	ressclsim -model t5-3b -nodes 2 -gpus 8 -dp 16 -batch 16 -backend all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/train"
+)
+
+var models = map[string]train.ModelConfig{
+	"t5-220m":   train.T5_220M,
+	"t5-770m":   train.T5_770M,
+	"t5-3b":     train.T5_3B,
+	"gpt3-6.7b": train.GPT3_6_7B,
+	"gpt3-13b":  train.GPT3_13B,
+	"gpt3-22b":  train.GPT3_22B,
+	"gpt3-45b":  train.GPT3_45B,
+}
+
+func main() {
+	var (
+		model = flag.String("model", "gpt3-13b", "model: t5-{220m,770m,3b} or gpt3-{6.7b,13b,22b,45b}")
+		nodes = flag.Int("nodes", 2, "number of servers")
+		gpus  = flag.Int("gpus", 8, "GPUs per server")
+		tp    = flag.Int("tp", 0, "tensor-parallel width (default: 8 for GPT-3, 1 for T5)")
+		dp    = flag.Int("dp", 0, "data-parallel width (default: fills remaining GPUs)")
+		batch = flag.Int("batch", 16, "global batch size")
+		bk    = flag.String("backend", "all", "backend: resccl, nccl, msccl or all")
+	)
+	flag.Parse()
+
+	m, ok := models[strings.ToLower(*model)]
+	if !ok {
+		keys := make([]string, 0, len(models))
+		for k := range models {
+			keys = append(keys, k)
+		}
+		fatal(fmt.Errorf("unknown model %q (known: %s)", *model, strings.Join(keys, ", ")))
+	}
+	width := *tp
+	if width == 0 {
+		if strings.HasPrefix(strings.ToLower(*model), "gpt") {
+			width = *gpus
+		} else {
+			width = 1
+		}
+	}
+	depth := *dp
+	if depth == 0 {
+		depth = (*nodes) * (*gpus) / width
+	}
+	cfg := train.Config{
+		Model: m, GlobalBatch: *batch,
+		TP: width, DP: depth, NNodes: *nodes, GPN: *gpus,
+	}
+
+	var bks []backend.Backend
+	switch strings.ToLower(*bk) {
+	case "all":
+		bks = []backend.Backend{backend.NewNCCL(), backend.NewMSCCL(), backend.NewResCCL()}
+	case "resccl":
+		bks = []backend.Backend{backend.NewResCCL()}
+	case "nccl":
+		bks = []backend.Backend{backend.NewNCCL()}
+	case "msccl":
+		bks = []backend.Backend{backend.NewMSCCL()}
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *bk))
+	}
+
+	fmt.Printf("%s on %d×%d GPUs, TP=%d DP=%d, batch %d\n\n", m.Name, *nodes, *gpus, width, depth, *batch)
+	fmt.Printf("%-8s %11s %12s %12s %12s %9s %8s %12s\n",
+		"backend", "iter (ms)", "compute (ms)", "tp-comm (ms)", "dp-comm (ms)", "sm (ms)", "TB/GPU", "samples/s")
+	for _, b := range bks {
+		res, err := train.Simulate(cfg, b)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %11.1f %12.1f %12.1f %12.1f %9.1f %8d %12.2f\n",
+			res.Backend, res.IterTime*1e3, res.Compute*1e3, res.TPComm*1e3, res.DPComm*1e3,
+			res.SMPenalty*1e3, res.CommTBs, res.Throughput)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ressclsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Gradient synchronization sweep: the workload that motivates the paper
+// — data-parallel gradient AllReduce at sizes from small encoder models
+// to multi-billion-parameter LLM shards — executed under all three
+// backends on a 4-server cluster, showing where each backend's
+// bandwidth saturates and how much SM capacity it holds hostage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/resccl/resccl"
+)
+
+func main() {
+	tp := resccl.NewTopology(4, 8, resccl.A100())
+	fmt.Printf("gradient AllReduce sweep on %d GPUs (4 servers × 8 A100)\n\n", tp.NRanks())
+
+	kinds := []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL}
+	comms := map[resccl.BackendKind]*resccl.Communicator{}
+	for _, k := range kinds {
+		c, err := resccl.NewCommunicator(tp, resccl.WithBackend(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		comms[k] = c
+	}
+
+	// Gradient sizes: a BERT-large shard (~28 MiB of fp16 gradients per
+	// rank) up to a GPT-13B tensor-parallel shard (~3.25 GiB).
+	grads := []struct {
+		model string
+		bytes int64
+	}{
+		{"BERT-large shard", 28 << 20},
+		{"T5-770M shard", 96 << 20},
+		{"T5-3B shard", 384 << 20},
+		{"GPT-6.7B shard", 1675 << 20},
+		{"GPT-13B shard", 3328 << 20},
+	}
+
+	fmt.Printf("%-18s %-9s", "gradient", "size")
+	for _, k := range kinds {
+		fmt.Printf(" %14s", k.String()+" GB/s")
+	}
+	fmt.Printf(" %11s %9s\n", "TB/GPU R:M", "SM saved")
+	for _, g := range grads {
+		fmt.Printf("%-18s %-9s", g.model, fmtBytes(g.bytes))
+		var resTBs, mscclTBs int
+		for _, k := range kinds {
+			run, err := comms[k].AllReduce(g.bytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %14.1f", run.AlgoBandwidth()/1e9)
+			switch k {
+			case resccl.BackendMSCCL:
+				mscclTBs = run.Utilization().TBs
+			case resccl.BackendResCCL:
+				resTBs = run.Utilization().TBs
+			}
+		}
+		fmt.Printf(" %5d:%-5d %8.1f%%\n", resTBs, mscclTBs, 100*(1-float64(resTBs)/float64(mscclTBs)))
+	}
+	fmt.Println("\nTB/GPU R:M — thread blocks per GPU under ResCCL vs MSCCL;")
+	fmt.Println("SM saved — streaming-multiprocessor capacity ResCCL returns to computation.")
+}
+
+func fmtBytes(b int64) string {
+	if b >= 1<<30 {
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	}
+	return fmt.Sprintf("%dMiB", b>>20)
+}

@@ -1,0 +1,54 @@
+// Mixture-of-experts dispatch: MoE layers exchange routed tokens with
+// AllToAll twice per layer (dispatch + combine). This example sizes the
+// exchange for a Mixtral-class layer and shows the trade ResCCL makes:
+// nearly the baseline's bandwidth at a fraction of the SM footprint,
+// leaving streaming multiprocessors free for the expert GEMMs that run
+// concurrently with the exchange.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/resccl/resccl"
+)
+
+func main() {
+	tp := resccl.NewTopology(4, 8, resccl.A100())
+	fmt.Printf("MoE token exchange on %d GPUs (4 servers × 8 A100)\n\n", tp.NRanks())
+
+	// Token payload per GPU per AllToAll: batch 8 × seq 4096 tokens,
+	// hidden 4096, fp16, top-2 routing → 512 MiB leaves each GPU.
+	payload := int64(8*4096) * 4096 * 2 * 2
+	fmt.Printf("payload per GPU per exchange: %d MiB\n\n", payload>>20)
+
+	fmt.Printf("%-28s %10s %14s %9s %10s\n", "configuration", "time", "algbw (GB/s)", "TB/GPU", "comm time")
+	for _, k := range []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL} {
+		comm, err := resccl.NewCommunicator(tp, resccl.WithBackend(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := comm.AllToAll(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := run.Utilization()
+		fmt.Printf("%-28s %10v %14.1f %9d %9.0f%%\n",
+			k.String()+" direct exchange", run.Completion.Round(1000),
+			run.AlgoBandwidth()/1e9, u.TBs, 100*u.CommTime)
+	}
+
+	// An A100 has 108 SMs; every communication TB occupies one. The SMs
+	// ResCCL leaves free run the expert GEMMs that overlap the exchange.
+	comm, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := comm.AllToAll(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper-MoE-layer communication (dispatch+combine): %v\n", (2 * run.Completion).Round(1000))
+	fmt.Printf("SMs left for expert compute during the exchange: %d of 108 (vs %d under the 62-TB baseline)\n",
+		108-run.Utilization().TBs, 108-62)
+}

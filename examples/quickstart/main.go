@@ -1,0 +1,56 @@
+// Quickstart: run the standard collectives on a simulated two-server
+// A100 cluster with the ResCCL backend and print the achieved algorithm
+// bandwidth and resource footprint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/resccl/resccl"
+)
+
+func main() {
+	// The paper's primary testbed slice: 2 servers × 8 A100 GPUs,
+	// NVSwitch inside each server, 200 Gbps RoCE NICs between them.
+	tp := resccl.NewTopology(2, 8, resccl.A100())
+	comm, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("communicator: %d ranks, backend %s\n\n", comm.NRanks(), comm.Backend())
+
+	fmt.Printf("%-14s %-10s %12s %14s %10s\n", "collective", "buffer", "time", "algbw (GB/s)", "link util")
+	for _, buf := range []int64{64 << 20, 512 << 20, 2 << 30} {
+		ag, err := comm.AllGather(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar, err := comm.AllReduce(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, run := range []*resccl.Run{ag, ar} {
+			fmt.Printf("%-14s %-10s %12v %14.1f %9.1f%%\n",
+				run.Algorithm, fmtBytes(run.BufferBytes), run.Completion.Round(1000),
+				run.AlgoBandwidth()/1e9, 100*run.LinkUtilization())
+		}
+	}
+
+	// Resource footprint: thread blocks the plan occupies per GPU and
+	// how busy they are (Table 3's metrics).
+	run, err := comm.AllReduce(1 << 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := run.Utilization()
+	fmt.Printf("\nAllReduce resource report: %d TBs per GPU, comm time %.1f%%, avg idle %.1f%%, max idle %.1f%%\n",
+		u.TBs, 100*u.CommTime, 100*u.AvgIdle, 100*u.MaxIdle)
+}
+
+func fmtBytes(b int64) string {
+	if b >= 1<<30 {
+		return fmt.Sprintf("%dGiB", b>>30)
+	}
+	return fmt.Sprintf("%dMiB", b>>20)
+}

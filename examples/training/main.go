@@ -1,0 +1,55 @@
+// End-to-end training: simulate Megatron-style iterations for a T5
+// data-parallel deployment and a GPT-3 tensor-parallel deployment,
+// reporting how each communication backend translates into training
+// throughput (the paper's Fig. 13 scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/resccl/resccl"
+)
+
+func main() {
+	kinds := []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL}
+
+	fmt.Println("T5-3B — data parallelism over 16 GPUs (2 servers), batch 16")
+	t5 := resccl.TrainConfig{
+		Model:       resccl.ModelT5_3B,
+		GlobalBatch: 16,
+		TP:          1, DP: 16,
+		NNodes: 2, GPN: 8,
+	}
+	printRuns(t5, kinds)
+
+	fmt.Println("\nGPT3-22B — tensor parallelism (TP=8) over 32 GPUs (4 servers), batch 32")
+	gpt := resccl.TrainConfig{
+		Model:       resccl.ModelGPT3_22B,
+		GlobalBatch: 32,
+		TP:          8, DP: 4,
+		NNodes: 4, GPN: 8,
+	}
+	printRuns(gpt, kinds)
+}
+
+func printRuns(cfg resccl.TrainConfig, kinds []resccl.BackendKind) {
+	fmt.Printf("  %-8s %11s %12s %12s %12s %12s\n",
+		"backend", "iter (ms)", "compute(ms)", "tp-comm(ms)", "dp-comm(ms)", "samples/s")
+	var base float64
+	for _, k := range kinds {
+		res, err := resccl.SimulateTraining(cfg, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if k == resccl.BackendNCCL {
+			base = res.Throughput
+		}
+		fmt.Printf("  %-8s %11.1f %12.1f %12.1f %12.1f %12.2f",
+			res.Backend, res.IterTime*1e3, res.Compute*1e3, res.TPComm*1e3, res.DPComm*1e3, res.Throughput)
+		if k == resccl.BackendResCCL && base > 0 {
+			fmt.Printf("  (%.1f%% over NCCL)", 100*(res.Throughput/base-1))
+		}
+		fmt.Println()
+	}
+}

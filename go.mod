@@ -1,0 +1,3 @@
+module github.com/resccl/resccl
+
+go 1.22

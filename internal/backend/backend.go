@@ -1,0 +1,137 @@
+// Package backend implements the three collective communication
+// backends the paper compares:
+//
+//   - an NCCL-like backend: vendor-standard channelized ring algorithms,
+//     connection-based TB allocation, algorithm-level (lazy) execution,
+//     runtime interpreter;
+//   - an MSCCL-like backend: executes custom algorithms; stage-level
+//     execution with per-stage channels for expert algorithms carrying
+//     stage annotations, algorithm-level execution for synthesizer
+//     output; runtime interpreter;
+//   - the ResCCL backend: HPDS primitive-level scheduling, state-based
+//     TB allocation, directly generated lightweight kernels.
+//
+// All three produce the same kernel.Kernel representation, executed by
+// the sim package under identical cost models, so differences in results
+// are attributable to scheduling/allocation/runtime policy alone — the
+// paper's experimental methodology.
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Request describes one collective to compile.
+type Request struct {
+	// Algo is the custom algorithm to execute. The NCCL backend ignores
+	// it (vendor libraries run their own standard algorithms) and only
+	// honours Algo.Op and Algo.NRanks.
+	Algo *ir.Algorithm
+	Topo *topo.Topology
+}
+
+// Plan is a compiled, executable collective.
+type Plan struct {
+	Backend string
+	// Algo is the algorithm actually executed (the NCCL backend
+	// substitutes its own).
+	Algo   *ir.Algorithm
+	Kernel *kernel.Kernel
+}
+
+// Backend compiles collectives into executable kernels.
+type Backend interface {
+	Name() string
+	Compile(req Request) (*Plan, error)
+}
+
+// tbSpec describes one thread block while building a baseline kernel.
+type tbSpec struct {
+	rank  ir.Rank
+	label string
+	prims []ir.Primitive
+}
+
+// buildKernel assembles a Kernel from TB specs. Slot order inside each
+// spec must already be consistent with the single global task order
+// (ascending TaskID), which guarantees deadlock freedom for MBMajor
+// kernels.
+func buildKernel(name string, g *dag.Graph, specs []tbSpec, order kernel.MBOrder, mode kernel.ExecMode) (*kernel.Kernel, error) {
+	k := &kernel.Kernel{
+		Name:      name,
+		Graph:     g,
+		Mode:      mode,
+		SendTB:    make([]int, len(g.Tasks)),
+		RecvTB:    make([]int, len(g.Tasks)),
+		LinkPreds: make([][]ir.TaskID, len(g.Tasks)),
+	}
+	for i := range k.SendTB {
+		k.SendTB[i] = -1
+		k.RecvTB[i] = -1
+	}
+	for i, spec := range specs {
+		tb := &kernel.TBProgram{ID: i, Rank: spec.rank, Order: order, Label: spec.label}
+		tb.Slots = append(tb.Slots, spec.prims...)
+		k.TBs = append(k.TBs, tb)
+		for _, p := range spec.prims {
+			if p.Kind == ir.PrimSend {
+				k.SendTB[p.Task.ID] = i
+			} else {
+				k.RecvTB[p.Task.ID] = i
+			}
+		}
+	}
+	if err := kernel.Validate(k); err != nil {
+		return nil, fmt.Errorf("backend: %w", err)
+	}
+	return k, nil
+}
+
+// connKey orders connections deterministically.
+func connLess(a, b topo.Connection) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// connectionTBs builds the classic connection-based TB layout: one send
+// TB and one recv TB per directed connection, covering the given tasks
+// (which must be in ascending TaskID order). The labelPrefix
+// distinguishes channels/stages.
+func connectionTBs(g *dag.Graph, tasks []ir.TaskID, labelPrefix string) []tbSpec {
+	type connSide struct {
+		conn topo.Connection
+		side ir.PrimKind
+	}
+	prims := make(map[topo.Connection][2][]ir.Primitive)
+	conns := make([]topo.Connection, 0)
+	for _, t := range tasks {
+		task := g.Tasks[t]
+		conn := topo.Connection{Src: task.Src, Dst: task.Dst}
+		entry, ok := prims[conn]
+		if !ok {
+			conns = append(conns, conn)
+		}
+		send, recv := task.Primitives()
+		entry[0] = append(entry[0], send)
+		entry[1] = append(entry[1], recv)
+		prims[conn] = entry
+	}
+	sort.Slice(conns, func(i, j int) bool { return connLess(conns[i], conns[j]) })
+	specs := make([]tbSpec, 0, 2*len(conns))
+	for _, conn := range conns {
+		entry := prims[conn]
+		specs = append(specs,
+			tbSpec{rank: conn.Src, label: labelPrefix + conn.String() + "/send", prims: entry[0]},
+			tbSpec{rank: conn.Dst, label: labelPrefix + conn.String() + "/recv", prims: entry[1]},
+		)
+	}
+	return specs
+}

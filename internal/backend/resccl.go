@@ -1,0 +1,44 @@
+package backend
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/core"
+)
+
+// ResCCL is the paper's backend: HPDS primitive-level scheduling,
+// state-based flexible TB allocation, and directly generated lightweight
+// kernels (no runtime interpreter).
+type ResCCL struct {
+	// Options tune the compiler pipeline; the zero value is the paper's
+	// default configuration.
+	Options core.Options
+}
+
+// NewResCCL returns a ResCCL backend with default options.
+func NewResCCL() *ResCCL { return &ResCCL{} }
+
+// Name implements Backend.
+func (r *ResCCL) Name() string { return "ResCCL" }
+
+// Compile implements Backend.
+func (r *ResCCL) Compile(req Request) (*Plan, error) {
+	if req.Algo == nil || req.Topo == nil {
+		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
+	}
+	c, err := core.Compile(req.Algo, req.Topo, r.Options)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Backend: r.Name(), Algo: req.Algo, Kernel: c.Kernel}, nil
+}
+
+// CompileFull exposes the full compilation artifacts (pipeline,
+// assignment, phase timings) for experiments that inspect more than the
+// kernel.
+func (r *ResCCL) CompileFull(req Request) (*core.Compiled, error) {
+	if req.Algo == nil || req.Topo == nil {
+		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
+	}
+	return core.Compile(req.Algo, req.Topo, r.Options)
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/train"
+)
+
+// Figure13 reproduces the end-to-end Megatron training comparison:
+// throughput for T5 models under data parallelism and GPT-3 models under
+// tensor parallelism, with each backend serving the collectives.
+func Figure13(opts Options) ([]*Table, error) {
+	type deployment struct {
+		cfg train.Config
+	}
+	t5 := &Table{
+		ID:     "fig13",
+		Title:  "T5 training throughput (data parallelism, 16 GPUs, batch 16)",
+		Header: []string{"Model", "NCCL (samples/s)", "MSCCL (samples/s)", "ResCCL (samples/s)", "vs NCCL", "vs MSCCL"},
+		Notes:  []string{"paper: ResCCL accelerates T5 by 18%–39% over native Megatron, 7.1%–1.8x over MSCCL"},
+	}
+	gpt := &Table{
+		ID:     "fig13",
+		Title:  "GPT-3 training throughput (tensor parallelism TP=8)",
+		Header: []string{"Model", "GPUs", "NCCL (samples/s)", "MSCCL (samples/s)", "ResCCL (samples/s)", "vs NCCL", "vs MSCCL"},
+		Notes:  []string{"paper: ResCCL delivers 11%–20% over native Megatron, 7.5%–29.3% over MSCCL"},
+	}
+
+	t5Models := []train.ModelConfig{train.T5_220M, train.T5_770M, train.T5_3B}
+	gptCases := []struct {
+		m     train.ModelConfig
+		nodes int
+		batch int
+	}{
+		{train.GPT3_6_7B, 2, 16},
+		{train.GPT3_13B, 2, 16},
+		{train.GPT3_22B, 4, 32},
+		{train.GPT3_45B, 4, 32},
+	}
+	if opts.Quick {
+		t5Models = t5Models[:2]
+		gptCases = gptCases[:2]
+	}
+
+	for _, m := range t5Models {
+		cfg := train.Config{Model: m, GlobalBatch: 16, TP: 1, DP: 16, NNodes: 2, GPN: 8}
+		res, err := train.Compare(cfg, backends()...)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s: %w", m.Name, err)
+		}
+		t5.AddRow(m.Name,
+			fmt.Sprintf("%.1f", res["NCCL"].Throughput),
+			fmt.Sprintf("%.1f", res["MSCCL"].Throughput),
+			fmt.Sprintf("%.1f", res["ResCCL"].Throughput),
+			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["NCCL"].Throughput),
+			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput))
+	}
+	for _, c := range gptCases {
+		cfg := train.Config{Model: c.m, GlobalBatch: c.batch, TP: 8, DP: c.nodes, NNodes: c.nodes, GPN: 8}
+		res, err := train.Compare(cfg, backends()...)
+		if err != nil {
+			return nil, fmt.Errorf("fig13 %s: %w", c.m.Name, err)
+		}
+		gpt.AddRow(c.m.Name, fmt.Sprintf("%d", c.nodes*8),
+			fmt.Sprintf("%.2f", res["NCCL"].Throughput),
+			fmt.Sprintf("%.2f", res["MSCCL"].Throughput),
+			fmt.Sprintf("%.2f", res["ResCCL"].Throughput),
+			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["NCCL"].Throughput),
+			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput))
+	}
+	return []*Table{t5, gpt}, nil
+}

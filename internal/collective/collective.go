@@ -1,0 +1,213 @@
+// Package collective defines the semantics of the collective operators
+// (AllGather, AllReduce, ReduceScatter, Broadcast, AllToAll) over the
+// chunked buffer model of ResCCLang, provides a data-plane executor that
+// applies an algorithm's transfers to concrete buffers, and verifies
+// operator postconditions — the ground truth every compiled plan is
+// checked against.
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// poison fills chunk slots that hold no valid data yet; reading one
+// indicates an incorrect algorithm (a transfer consuming data that was
+// never delivered).
+const poison int64 = -0x3fffffffffffffff
+
+// ElemsPerChunk is the number of verification elements carried per
+// chunk. Small, because correctness is element-position independent.
+const ElemsPerChunk = 4
+
+// Contribution returns rank r's deterministic initial value for chunk c,
+// element e. Values are pairwise distinct across (r, c, e) so mixups are
+// detected.
+func Contribution(r ir.Rank, c ir.ChunkID, e int) int64 {
+	return 1 + int64(r)*1_000_003 + int64(c)*10_007 + int64(e)*101
+}
+
+// Owner returns the home rank of chunk c: the rank whose buffer segment
+// the chunk represents (AllGather source, ReduceScatter destination).
+func Owner(c ir.ChunkID, nRanks int) ir.Rank { return ir.Rank(int(c) % nRanks) }
+
+// State is the data plane: every rank's buffer as chunk-indexed element
+// vectors.
+type State struct {
+	Op      ir.OpType
+	NRanks  int
+	NChunks int
+	// data[rank][chunk][elem]
+	data [][][]int64
+}
+
+// NewState initialises buffers per the operator's precondition (see
+// dag.InitiallyHolds).
+func NewState(op ir.OpType, nRanks, nChunks int) *State {
+	s := &State{Op: op, NRanks: nRanks, NChunks: nChunks}
+	s.data = make([][][]int64, nRanks)
+	for r := 0; r < nRanks; r++ {
+		s.data[r] = make([][]int64, nChunks)
+		for c := 0; c < nChunks; c++ {
+			s.data[r][c] = make([]int64, ElemsPerChunk)
+			for e := 0; e < ElemsPerChunk; e++ {
+				if dag.InitiallyHolds(op, ir.Rank(r), ir.ChunkID(c), nRanks, nChunks) {
+					s.data[r][c][e] = Contribution(ir.Rank(r), ir.ChunkID(c), e)
+				} else {
+					s.data[r][c][e] = poison
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Chunk returns rank r's current copy of chunk c (aliased, not copied).
+func (s *State) Chunk(r ir.Rank, c ir.ChunkID) []int64 { return s.data[r][c] }
+
+// Apply executes one transfer: the source's chunk is copied (recv) or
+// element-wise reduced (rrc) into the destination's chunk. Reading a
+// poisoned source chunk is an execution error.
+func (s *State) Apply(t ir.Transfer) error {
+	src := s.data[t.Src][t.Chunk]
+	dst := s.data[t.Dst][t.Chunk]
+	for e := range src {
+		if src[e] == poison {
+			return fmt.Errorf("collective: %v reads undelivered chunk %d at rank %d", t, t.Chunk, t.Src)
+		}
+	}
+	switch t.Type {
+	case ir.CommRecv:
+		copy(dst, src)
+	case ir.CommRecvReduceCopy:
+		for e := range dst {
+			if dst[e] == poison {
+				return fmt.Errorf("collective: %v reduces into undelivered chunk %d at rank %d", t, t.Chunk, t.Dst)
+			}
+			dst[e] += src[e]
+		}
+	default:
+		return fmt.Errorf("collective: %v has unknown comm type", t)
+	}
+	return nil
+}
+
+// Execute runs the whole algorithm on fresh buffers in step order and
+// returns the final state. Step order is sufficient because data
+// dependencies only point from lower to higher steps (enforced by
+// dag.Build, which callers should have run; Execute re-sorts but does
+// not re-check hazards).
+func Execute(algo *ir.Algorithm) (*State, error) {
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	s := NewState(algo.Op, algo.NRanks, algo.NChunks)
+	transfers := algo.Sorted()
+	sort.SliceStable(transfers, func(i, j int) bool { return transfers[i].Step < transfers[j].Step })
+	for _, t := range transfers {
+		if err := s.Apply(t); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Verify checks the operator postcondition on a final state:
+//
+//   - AllGather: every rank holds every chunk's original contribution
+//     (from the chunk's owner).
+//   - AllReduce: every rank holds, for every chunk, the element-wise sum
+//     of all ranks' contributions.
+//   - ReduceScatter: each rank holds the full sum for the chunks it
+//     owns; other chunks are unspecified.
+//   - Broadcast: every rank holds rank 0's contribution for every chunk.
+//   - AllToAll: rank d holds, for every source s, the chunk s·nRanks+d
+//     with s's contribution; other chunks are unspecified.
+func Verify(s *State) error {
+	nR, nC := s.NRanks, s.NChunks
+	sum := func(c ir.ChunkID, e int) int64 {
+		var total int64
+		for r := 0; r < nR; r++ {
+			total += Contribution(ir.Rank(r), c, e)
+		}
+		return total
+	}
+	for r := 0; r < nR; r++ {
+		for c := 0; c < nC; c++ {
+			for e := 0; e < ElemsPerChunk; e++ {
+				got := s.data[r][c][e]
+				var want int64
+				switch s.Op {
+				case ir.OpAllGather:
+					want = Contribution(Owner(ir.ChunkID(c), nR), ir.ChunkID(c), e)
+				case ir.OpAllReduce:
+					want = sum(ir.ChunkID(c), e)
+				case ir.OpReduceScatter:
+					if Owner(ir.ChunkID(c), nR) != ir.Rank(r) {
+						continue
+					}
+					want = sum(ir.ChunkID(c), e)
+				case ir.OpBroadcast:
+					want = Contribution(0, ir.ChunkID(c), e)
+				case ir.OpAllToAll:
+					if c%nR != r {
+						continue // only destination segments are specified
+					}
+					want = Contribution(ir.Rank(c/nR), ir.ChunkID(c), e)
+				default:
+					return fmt.Errorf("collective: unknown operator %v", s.Op)
+				}
+				if got != want {
+					return fmt.Errorf(
+						"collective: %v postcondition violated at rank %d chunk %d elem %d: got %d, want %d",
+						s.Op, r, c, e, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyGroup checks a process-group AllReduce embedded in a larger
+// communicator: every group member must hold, for every chunk, the sum
+// of the group members' contributions. Non-members are unconstrained.
+// Only AllReduce has rank-independent group semantics under the chunk
+// ownership conventions; other grouped operators are rejected.
+func VerifyGroup(s *State, group []ir.Rank) error {
+	if s.Op != ir.OpAllReduce {
+		return fmt.Errorf("collective: grouped verification supports AllReduce only, got %v", s.Op)
+	}
+	for c := 0; c < s.NChunks; c++ {
+		for e := 0; e < ElemsPerChunk; e++ {
+			var want int64
+			for _, q := range group {
+				want += Contribution(q, ir.ChunkID(c), e)
+			}
+			for _, r := range group {
+				if got := s.data[r][c][e]; got != want {
+					return fmt.Errorf(
+						"collective: grouped %v postcondition violated at rank %d chunk %d elem %d: got %d, want %d",
+						s.Op, r, c, e, got, want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Check executes and verifies an algorithm in one call — the standard
+// correctness gate used by tests and the compiler. Group-embedded
+// algorithms are verified against the group's view.
+func Check(algo *ir.Algorithm) error {
+	s, err := Execute(algo)
+	if err != nil {
+		return err
+	}
+	if algo.Group != nil {
+		return VerifyGroup(s, algo.Group)
+	}
+	return Verify(s)
+}

@@ -1,0 +1,210 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+func ringAG(n int) *ir.Algorithm {
+	a := &ir.Algorithm{Name: "ring", Op: ir.OpAllGather, NRanks: n, NChunks: n}
+	for r := 0; r < n; r++ {
+		for s := 0; s < n-1; s++ {
+			c := ((r-s)%n + n) % n
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(r), Dst: ir.Rank((r + 1) % n), Step: ir.Step(s),
+				Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a
+}
+
+func TestExecuteAndVerifyRing(t *testing.T) {
+	if err := Check(ringAG(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	s := NewState(ir.OpAllReduce, 2, 2)
+	// rrc adds; recv copies.
+	before := append([]int64(nil), s.Chunk(1, 0)...)
+	if err := s.Apply(ir.Transfer{Src: 0, Dst: 1, Chunk: 0, Type: ir.CommRecvReduceCopy}); err != nil {
+		t.Fatal(err)
+	}
+	for e := range before {
+		want := before[e] + Contribution(0, 0, e)
+		if got := s.Chunk(1, 0)[e]; got != want {
+			t.Errorf("rrc elem %d: got %d want %d", e, got, want)
+		}
+	}
+	if err := s.Apply(ir.Transfer{Src: 1, Dst: 0, Chunk: 0, Type: ir.CommRecv}); err != nil {
+		t.Fatal(err)
+	}
+	for e := range before {
+		if s.Chunk(0, 0)[e] != s.Chunk(1, 0)[e] {
+			t.Error("recv must copy the sender's chunk")
+		}
+	}
+}
+
+func TestPoisonDetection(t *testing.T) {
+	// AllGather: rank 0 does not hold chunk 1 initially; sending it must
+	// fail.
+	s := NewState(ir.OpAllGather, 2, 2)
+	if err := s.Apply(ir.Transfer{Src: 0, Dst: 1, Chunk: 1, Type: ir.CommRecv}); err == nil {
+		t.Error("sending an undelivered chunk should fail")
+	}
+	// Reducing into a poisoned destination must fail too.
+	if err := s.Apply(ir.Transfer{Src: 1, Dst: 0, Chunk: 1, Type: ir.CommRecvReduceCopy}); err == nil {
+		t.Error("reducing into an undelivered chunk should fail")
+	}
+}
+
+func TestVerifyCatchesWrongResult(t *testing.T) {
+	// An AllGather that stops one step early leaves poison (and stale
+	// values) behind; Verify must fail.
+	a := ringAG(4)
+	a.Transfers = a.Transfers[:len(a.Transfers)-4]
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(a.Op, a.NRanks, a.NChunks)
+	for _, tr := range a.Sorted() {
+		// Ignore apply errors: we want Verify to catch the bad state.
+		_ = st.Apply(tr)
+	}
+	if err := Verify(st); err == nil {
+		t.Error("truncated AllGather should fail verification")
+	}
+}
+
+func TestContributionsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			for e := 0; e < ElemsPerChunk; e++ {
+				v := Contribution(ir.Rank(r), ir.ChunkID(c), e)
+				if seen[v] {
+					t.Fatalf("collision at (%d,%d,%d)", r, c, e)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	if Owner(5, 8) != 5 || Owner(13, 8) != 5 {
+		t.Error("owner must be chunk mod nRanks")
+	}
+}
+
+// Property: for random ring sizes, executing the ring AllGather always
+// verifies, and corrupting one transfer's chunk makes execution or
+// verification fail.
+func TestPropertyRingVerifies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		a := ringAG(n)
+		if Check(a) != nil {
+			return false
+		}
+		// Corrupt: retarget one transfer's chunk.
+		i := rng.Intn(len(a.Transfers))
+		a.Transfers[i].Chunk = ir.ChunkID((int(a.Transfers[i].Chunk) + 1) % n)
+		st := NewState(a.Op, a.NRanks, a.NChunks)
+		bad := false
+		for _, tr := range a.Sorted() {
+			if st.Apply(tr) != nil {
+				bad = true
+				break
+			}
+		}
+		if !bad && Verify(st) == nil {
+			// The corruption happened to produce a still-correct plan —
+			// possible only if it created a duplicate delivering the
+			// same data; treat as failure to keep the property strict.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastVerify(t *testing.T) {
+	// Rank 0 broadcasts every chunk directly.
+	n := 4
+	a := &ir.Algorithm{Name: "bcast", Op: ir.OpBroadcast, NRanks: n, NChunks: n}
+	for c := 0; c < n; c++ {
+		for d := 1; d < n; d++ {
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: 0, Dst: ir.Rank(d), Step: ir.Step(c), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+			})
+		}
+	}
+	if err := Check(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteRejectsInvalidAlgorithm(t *testing.T) {
+	bad := &ir.Algorithm{Name: "bad", Op: ir.OpAllGather, NRanks: 1, NChunks: 1}
+	if _, err := Execute(bad); err == nil {
+		t.Error("invalid algorithm should fail Execute")
+	}
+}
+
+func TestVerifyUnknownOp(t *testing.T) {
+	s := NewState(ir.OpType(99), 2, 2)
+	if err := Verify(s); err == nil {
+		t.Error("unknown operator should fail Verify")
+	}
+}
+
+func TestApplyUnknownCommType(t *testing.T) {
+	s := NewState(ir.OpAllReduce, 2, 2)
+	if err := s.Apply(ir.Transfer{Src: 0, Dst: 1, Chunk: 0, Type: ir.CommType(9)}); err == nil {
+		t.Error("unknown comm type should fail Apply")
+	}
+}
+
+func TestVerifyGroup(t *testing.T) {
+	// A 2-rank ring AllReduce embedded at ranks {1,3} of a 4-rank world.
+	ring := &ir.Algorithm{
+		Name: "r2", Op: ir.OpAllReduce, NRanks: 2, NChunks: 2,
+		Transfers: []ir.Transfer{
+			{Src: 0, Dst: 1, Step: 0, Chunk: 1, Type: ir.CommRecvReduceCopy},
+			{Src: 1, Dst: 0, Step: 0, Chunk: 0, Type: ir.CommRecvReduceCopy},
+			{Src: 0, Dst: 1, Step: 1, Chunk: 0, Type: ir.CommRecv},
+			{Src: 1, Dst: 0, Step: 1, Chunk: 1, Type: ir.CommRecv},
+		},
+	}
+	emb, err := ir.Embed(ring, []ir.Rank{1, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(emb); err != nil {
+		t.Fatal(err)
+	}
+	// Grouped verification only supports AllReduce.
+	ag := NewState(ir.OpAllGather, 4, 4)
+	if err := VerifyGroup(ag, []ir.Rank{0, 1}); err == nil {
+		t.Error("grouped AllGather verification should be rejected")
+	}
+}
+
+func TestVerifyGroupCatchesWrongSum(t *testing.T) {
+	s := NewState(ir.OpAllReduce, 4, 2)
+	// Group {0,2} never exchanged anything: members hold only their own
+	// contribution, so grouped verification must fail.
+	if err := VerifyGroup(s, []ir.Rank{0, 2}); err == nil {
+		t.Error("unreduced group state should fail verification")
+	}
+}

@@ -1,0 +1,157 @@
+// Package core orchestrates the ResCCL backend-optimization workflow of
+// §4.1 (Fig. 5): parse (ResCCLang → algorithm), analyze (algorithm →
+// dependency DAG), schedule (HPDS → task pipeline), allocate (state-based
+// TB assignment) and lower (pipeline → lightweight kernel). It records
+// per-phase wall time, which Fig. 10(a) reports as the offline workflow
+// cost.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/lang"
+	"github.com/resccl/resccl/internal/sched"
+	"github.com/resccl/resccl/internal/talloc"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// AllocPolicy selects the TB allocation strategy.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// AllocStateBased is ResCCL's flexible allocation (§4.4).
+	AllocStateBased AllocPolicy = iota
+	// AllocConnectionBased is the rigid per-connection baseline, kept
+	// for ablations.
+	AllocConnectionBased
+)
+
+func (p AllocPolicy) String() string {
+	if p == AllocStateBased {
+		return "state-based"
+	}
+	return "connection-based"
+}
+
+// Options tune the compilation pipeline. The zero value is the paper's
+// default configuration: HPDS scheduling, state-based allocation, direct
+// kernels, 1 MiB chunks.
+type Options struct {
+	Policy sched.Policy
+	Alloc  AllocPolicy
+	Mode   kernel.ExecMode
+	// ChunkBytes is the chunk size assumed for timeline analysis
+	// (default 1 MiB).
+	ChunkBytes int64
+	// WindowMB is the micro-batch count assumed for timeline analysis
+	// (default 8).
+	WindowMB int
+	// SkipVerify disables the data-plane correctness check of the input
+	// algorithm. Verification is cheap and on by default; disable only
+	// for scalability measurements on very large synthetic plans.
+	SkipVerify bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 1 << 20
+	}
+	if o.WindowMB <= 0 {
+		o.WindowMB = 8
+	}
+	return o
+}
+
+// Phases records the wall time of each offline workflow phase (Fig.
+// 10(a)).
+type Phases struct {
+	Parse    time.Duration
+	Analyze  time.Duration
+	Schedule time.Duration
+	Lower    time.Duration
+}
+
+// Total returns the end-to-end offline cost.
+func (p Phases) Total() time.Duration { return p.Parse + p.Analyze + p.Schedule + p.Lower }
+
+// Compiled bundles every artifact of one compilation.
+type Compiled struct {
+	Algo       *ir.Algorithm
+	Graph      *dag.Graph
+	Pipeline   *sched.Pipeline
+	Windows    *talloc.Windows
+	Assignment *talloc.Assignment
+	Kernel     *kernel.Kernel
+	Phases     Phases
+	Options    Options
+}
+
+// Compile runs the full ResCCL pipeline on an already-built algorithm.
+func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	c := &Compiled{Algo: algo, Options: opts}
+
+	if !opts.SkipVerify {
+		if err := collective.Check(algo); err != nil {
+			return nil, fmt.Errorf("core: algorithm %q fails its %v postcondition: %w", algo.Name, algo.Op, err)
+		}
+	}
+
+	start := time.Now()
+	g, err := dag.Build(algo, t)
+	if err != nil {
+		return nil, fmt.Errorf("core: dependency analysis: %w", err)
+	}
+	c.Graph = g
+	c.Phases.Analyze = time.Since(start)
+
+	start = time.Now()
+	p, err := sched.Schedule(g, opts.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: scheduling: %w", err)
+	}
+	c.Pipeline = p
+	c.Phases.Schedule = time.Since(start)
+
+	start = time.Now()
+	c.Windows = talloc.EstimateWindows(p, int(opts.ChunkBytes), opts.WindowMB)
+	switch opts.Alloc {
+	case AllocStateBased:
+		c.Assignment = talloc.StateBased(p, c.Windows)
+	case AllocConnectionBased:
+		c.Assignment = talloc.ConnectionBased(p, c.Windows)
+	default:
+		return nil, fmt.Errorf("core: unknown allocation policy %v", opts.Alloc)
+	}
+	k, err := kernel.Generate(p, c.Assignment)
+	if err != nil {
+		return nil, fmt.Errorf("core: lowering: %w", err)
+	}
+	k.Mode = opts.Mode
+	c.Kernel = k
+	c.Phases.Lower = time.Since(start)
+	return c, nil
+}
+
+// CompileDSL parses ResCCLang source and compiles it, recording the
+// parse phase as well.
+func CompileDSL(src string, t *topo.Topology, opts Options) (*Compiled, error) {
+	start := time.Now()
+	algo, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(start)
+	c, err := Compile(algo, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Phases.Parse = parse
+	return c, nil
+}

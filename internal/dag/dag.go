@@ -1,0 +1,326 @@
+// Package dag performs the global dependency analysis of §4.1: it turns
+// an ir.Algorithm into a dependency DAG whose vertices are transmission
+// tasks and whose edges are data dependencies, and annotates every task
+// with the communication links it occupies so the scheduler can honour
+// communication dependencies (§3).
+//
+// Because different chunks live at isolated buffer addresses, data
+// dependencies only ever connect tasks of the same chunk; the DAG
+// decomposes into per-chunk sub-DAGs (the G[C] of Algorithm 1).
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Graph is the analysed form of an algorithm.
+type Graph struct {
+	Algo *ir.Algorithm
+	Topo *topo.Topology
+
+	// Tasks is dense by TaskID in deterministic (step, chunk, src, dst)
+	// order.
+	Tasks []ir.Task
+
+	// Deps[t] lists the tasks t data-depends on: they must complete
+	// their invocation for a micro-batch before t runs for that same
+	// micro-batch (§3 rule 1). Dependents is the reverse adjacency.
+	Deps       [][]ir.TaskID
+	Dependents [][]ir.TaskID
+
+	// Paths[t] is the network path of task t; Links[t] is the subset of
+	// path resources whose sharing constitutes a communication
+	// dependency.
+	Paths []topo.Path
+	Links [][]topo.LinkID
+
+	// ChunkTasks[c] lists the tasks of chunk c in ascending step order —
+	// the per-chunk sub-DAG G[C] that HPDS iterates over.
+	ChunkTasks [][]ir.TaskID
+
+	// LinkTasks groups tasks by communication link, used for link-load
+	// statistics and priority seeding.
+	LinkTasks map[topo.LinkID][]ir.TaskID
+
+	// LinkWindows[l] is the number of tasks that may occupy link l
+	// concurrently before aggregate TB capability exceeds the link's
+	// bandwidth (Fig. 4). Scheduling beyond the window creates a
+	// communication dependency.
+	LinkWindows map[topo.LinkID]int
+}
+
+// InitiallyHolds reports whether, before the collective starts, rank r's
+// buffer already contains valid data for chunk c under operator op with
+// nRanks ranks and nChunks chunks per rank.
+//
+//   - AllGather: rank r contributes only its own chunks (chunk c lives
+//     on rank c mod nRanks).
+//   - Broadcast: only the root (rank 0) holds valid data.
+//   - AllToAll: with nChunks = nRanks², chunk s·nRanks+d starts at its
+//     source rank s.
+//   - AllReduce / ReduceScatter: every rank holds a local copy of every
+//     chunk (its own contribution to the reduction).
+func InitiallyHolds(op ir.OpType, r ir.Rank, c ir.ChunkID, nRanks, nChunks int) bool {
+	switch op {
+	case ir.OpAllGather:
+		return int(c)%nRanks == int(r)
+	case ir.OpBroadcast:
+		return r == 0 // only the root holds valid data
+	case ir.OpAllToAll:
+		return int(c)/nRanks == int(r)
+	case ir.OpAllReduce, ir.OpReduceScatter:
+		return true
+	default:
+		return true
+	}
+}
+
+// access records one buffer touch for hazard analysis.
+type access struct {
+	task  ir.TaskID
+	step  ir.Step
+	write bool
+}
+
+// Build analyses algo on t and returns its dependency graph. It rejects
+// algorithms with write-write or read-write hazards at the same step
+// (ambiguous ordering) and reads of chunks a rank cannot yet hold —
+// both indicate an incorrect plan.
+func Build(algo *ir.Algorithm, t *topo.Topology) (*Graph, error) {
+	if err := algo.Validate(); err != nil {
+		return nil, err
+	}
+	if algo.NRanks != t.NRanks() {
+		return nil, fmt.Errorf("dag: algorithm %q has %d ranks but topology has %d",
+			algo.Name, algo.NRanks, t.NRanks())
+	}
+
+	sorted := algo.Sorted()
+	g := &Graph{
+		Algo:        algo,
+		Topo:        t,
+		Tasks:       make([]ir.Task, len(sorted)),
+		Deps:        make([][]ir.TaskID, len(sorted)),
+		Dependents:  make([][]ir.TaskID, len(sorted)),
+		Paths:       make([]topo.Path, len(sorted)),
+		Links:       make([][]topo.LinkID, len(sorted)),
+		ChunkTasks:  make([][]ir.TaskID, algo.NChunks),
+		LinkTasks:   make(map[topo.LinkID][]ir.TaskID),
+		LinkWindows: make(map[topo.LinkID]int),
+	}
+	for i, tr := range sorted {
+		id := ir.TaskID(i)
+		g.Tasks[i] = ir.Task{ID: id, Transfer: tr}
+		p := t.Path(tr.Src, tr.Dst)
+		g.Paths[i] = p
+		g.Links[i] = p.CommLinks
+		g.ChunkTasks[tr.Chunk] = append(g.ChunkTasks[tr.Chunk], id)
+		for _, l := range p.CommLinks {
+			g.LinkTasks[l] = append(g.LinkTasks[l], id)
+			w := t.LinkWindow(l, p.TBCap)
+			if cur, ok := g.LinkWindows[l]; !ok || w < cur {
+				g.LinkWindows[l] = w
+			}
+		}
+	}
+
+	if err := g.buildDataDeps(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildDataDeps derives data-dependency edges from buffer hazards: for
+// every (rank, chunk) location, order accesses by step; a read depends on
+// the last preceding write, a write depends on the last preceding write
+// and every read since it (anti-dependency: the old value must have been
+// forwarded before it is overwritten or reduced into).
+func (g *Graph) buildDataDeps() error {
+	algo := g.Algo
+	// accesses[rank][chunk]
+	accesses := make(map[[2]int][]access)
+	for i := range g.Tasks {
+		task := g.Tasks[i]
+		src := [2]int{int(task.Src), int(task.Chunk)}
+		dst := [2]int{int(task.Dst), int(task.Chunk)}
+		accesses[src] = append(accesses[src], access{task: task.ID, step: task.Step, write: false})
+		accesses[dst] = append(accesses[dst], access{task: task.ID, step: task.Step, write: true})
+	}
+
+	depSet := make(map[ir.TaskID]map[ir.TaskID]struct{})
+	addDep := func(from, on ir.TaskID) {
+		if from == on {
+			return
+		}
+		m, ok := depSet[from]
+		if !ok {
+			m = make(map[ir.TaskID]struct{})
+			depSet[from] = m
+		}
+		m[on] = struct{}{}
+	}
+
+	keys := make([][2]int, 0, len(accesses))
+	for k := range accesses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	for _, loc := range keys {
+		accs := accesses[loc]
+		sort.Slice(accs, func(i, j int) bool {
+			if accs[i].step != accs[j].step {
+				return accs[i].step < accs[j].step
+			}
+			// Reads before writes at the same step would be ambiguous;
+			// keep deterministic order for the conflict check below.
+			if accs[i].write != accs[j].write {
+				return !accs[i].write
+			}
+			return accs[i].task < accs[j].task
+		})
+		rank, chunk := ir.Rank(loc[0]), ir.ChunkID(loc[1])
+		var lastWrite *access
+		var readsSince []access
+		for i := range accs {
+			a := accs[i]
+			// Same-step hazard detection.
+			if a.write {
+				for _, other := range accs {
+					if other.task != a.task && other.step == a.step {
+						return fmt.Errorf(
+							"dag: algorithm %q: tasks %v and %v access rank %d chunk %d at the same step %d with a write — ordering is ambiguous",
+							g.Algo.Name, g.Tasks[a.task].Transfer, g.Tasks[other.task].Transfer, rank, chunk, a.step)
+					}
+				}
+			}
+			if a.write {
+				if lastWrite != nil {
+					addDep(a.task, lastWrite.task)
+				}
+				for _, r := range readsSince {
+					addDep(a.task, r.task)
+				}
+				aCopy := a
+				lastWrite = &aCopy
+				readsSince = readsSince[:0]
+			} else {
+				if lastWrite != nil {
+					addDep(a.task, lastWrite.task)
+				} else if !InitiallyHolds(algo.Op, rank, chunk, algo.NRanks, algo.NChunks) {
+					return fmt.Errorf(
+						"dag: algorithm %q: task %v reads chunk %d at rank %d before any task delivers it and rank %d does not initially hold it",
+						g.Algo.Name, g.Tasks[a.task].Transfer, chunk, rank, rank)
+				}
+				readsSince = append(readsSince, a)
+			}
+		}
+	}
+
+	for from, ons := range depSet {
+		deps := make([]ir.TaskID, 0, len(ons))
+		for on := range ons {
+			deps = append(deps, on)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		g.Deps[from] = deps
+		for _, on := range deps {
+			g.Dependents[on] = append(g.Dependents[on], from)
+		}
+	}
+	for i := range g.Dependents {
+		sort.Slice(g.Dependents[i], func(a, b int) bool { return g.Dependents[i][a] < g.Dependents[i][b] })
+	}
+	return nil
+}
+
+// NTasks returns the number of tasks in the graph.
+func (g *Graph) NTasks() int { return len(g.Tasks) }
+
+// InDegrees returns a fresh in-degree vector (number of data
+// dependencies per task), for consumers that peel the DAG.
+func (g *Graph) InDegrees() []int {
+	in := make([]int, len(g.Tasks))
+	for i := range g.Deps {
+		in[i] = len(g.Deps[i])
+	}
+	return in
+}
+
+// SharesLink reports whether tasks a and b occupy at least one common
+// communication link — the communication-dependency predicate comm(a,b)
+// of §4.3. Link slices are tiny (1–2 entries) so the scan is linear.
+func (g *Graph) SharesLink(a, b ir.TaskID) bool {
+	for _, la := range g.Links[a] {
+		for _, lb := range g.Links[b] {
+			if la == lb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TopoOrder returns one valid topological order of the tasks or an error
+// if the dependency graph has a cycle (which would deadlock execution;
+// by construction edges follow increasing steps, so a cycle indicates a
+// builder bug).
+func (g *Graph) TopoOrder() ([]ir.TaskID, error) {
+	in := g.InDegrees()
+	queue := make([]ir.TaskID, 0, len(in))
+	for i, d := range in {
+		if d == 0 {
+			queue = append(queue, ir.TaskID(i))
+		}
+	}
+	order := make([]ir.TaskID, 0, len(in))
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		order = append(order, t)
+		for _, dep := range g.Dependents[t] {
+			in[dep]--
+			if in[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(order) != len(g.Tasks) {
+		return nil, fmt.Errorf("dag: algorithm %q: dependency graph has a cycle (%d of %d tasks ordered)",
+			g.Algo.Name, len(order), len(g.Tasks))
+	}
+	return order, nil
+}
+
+// CriticalPathLen returns the length (in tasks) of the longest dependency
+// chain — a lower bound on sequential depth used by reports and tests.
+func (g *Graph) CriticalPathLen() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return -1
+	}
+	depth := make([]int, len(g.Tasks))
+	longest := 0
+	for _, t := range order {
+		d := 1
+		for _, on := range g.Deps[t] {
+			if depth[on]+1 > d {
+				d = depth[on] + 1
+			}
+		}
+		depth[t] = d
+		if d > longest {
+			longest = d
+		}
+	}
+	return longest
+}

@@ -1,0 +1,203 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+func ringTopo(t *testing.T, nNodes, gpn int) *topo.Topology {
+	t.Helper()
+	return topo.New(nNodes, gpn, topo.A100())
+}
+
+func TestRingAllGatherDeps(t *testing.T) {
+	a, err := expert.RingAllGather(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(a, topo.New(1, 4, topo.A100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NTasks() != 12 {
+		t.Fatalf("tasks = %d, want 12", g.NTasks())
+	}
+	// Step-0 tasks have no deps; each later transfer of a chunk depends
+	// on exactly the previous hop.
+	for i, task := range g.Tasks {
+		switch task.Step {
+		case 0:
+			if len(g.Deps[i]) != 0 {
+				t.Errorf("step-0 task %v has deps %v", task.Transfer, g.Deps[i])
+			}
+		default:
+			if len(g.Deps[i]) != 1 {
+				t.Errorf("task %v has %d deps, want 1", task.Transfer, len(g.Deps[i]))
+				continue
+			}
+			dep := g.Tasks[g.Deps[i][0]]
+			if dep.Chunk != task.Chunk || dep.Step != task.Step-1 || dep.Dst != task.Src {
+				t.Errorf("task %v depends on %v; want previous hop of same chunk", task.Transfer, dep.Transfer)
+			}
+		}
+	}
+	// Ring AllGather: every chunk's sub-DAG is a chain of length n−1.
+	if got := g.CriticalPathLen(); got != 3 {
+		t.Errorf("critical path = %d, want 3", got)
+	}
+}
+
+func TestTopoOrderCoversAllTasks(t *testing.T) {
+	a, err := expert.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(a, ringTopo(t, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != g.NTasks() {
+		t.Fatalf("topo order covers %d of %d tasks", len(order), g.NTasks())
+	}
+	pos := make([]int, g.NTasks())
+	for i, id := range order {
+		pos[id] = i
+	}
+	for t2 := range g.Tasks {
+		for _, d := range g.Deps[t2] {
+			if pos[d] >= pos[t2] {
+				t.Fatalf("dependency %d not before task %d in topo order", d, t2)
+			}
+		}
+	}
+}
+
+func TestRejectsRankMismatch(t *testing.T) {
+	a, _ := expert.RingAllGather(4)
+	if _, err := Build(a, topo.New(1, 8, topo.A100())); err == nil {
+		t.Fatal("expected rank/topology mismatch error")
+	}
+}
+
+func TestRejectsUndeliveredRead(t *testing.T) {
+	// Rank 0 sends chunk 1 (owned by rank 1) without ever receiving it.
+	a := &ir.Algorithm{
+		Name: "bad", Op: ir.OpAllGather, NRanks: 2, NChunks: 2,
+		Transfers: []ir.Transfer{
+			{Src: 0, Dst: 1, Step: 0, Chunk: 1, Type: ir.CommRecv},
+		},
+	}
+	if _, err := Build(a, topo.New(1, 2, topo.A100())); err == nil {
+		t.Fatal("expected undelivered-read error")
+	}
+}
+
+func TestRejectsSameStepWriteConflict(t *testing.T) {
+	// Two writes into (rank 2, chunk 0) at the same step.
+	a := &ir.Algorithm{
+		Name: "conflict", Op: ir.OpAllReduce, NRanks: 3, NChunks: 3,
+		Transfers: []ir.Transfer{
+			{Src: 0, Dst: 2, Step: 0, Chunk: 0, Type: ir.CommRecvReduceCopy},
+			{Src: 1, Dst: 2, Step: 0, Chunk: 0, Type: ir.CommRecvReduceCopy},
+		},
+	}
+	if _, err := Build(a, topo.New(1, 3, topo.A100())); err == nil {
+		t.Fatal("expected same-step write conflict error")
+	}
+}
+
+func TestCommLinksInterNodeShareNIC(t *testing.T) {
+	tp := topo.New(2, 8, topo.A100()) // 4 NICs/node, 2 GPUs per NIC
+	a, err := expert.HMAllReduce(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(a, tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two inter-node tasks from GPU 0 and GPU 1 (which share NIC 0)
+	// must share a communication link; two intra-node tasks on
+	// different pairs must not.
+	var fromG0, fromG1, intraA, intraB ir.TaskID = -1, -1, -1, -1
+	for i, task := range g.Tasks {
+		inter := !tp.SameNode(task.Src, task.Dst)
+		switch {
+		case inter && task.Src == 0 && fromG0 < 0:
+			fromG0 = ir.TaskID(i)
+		case inter && task.Src == 1 && fromG1 < 0:
+			fromG1 = ir.TaskID(i)
+		case !inter && task.Src == 0 && task.Dst == 1 && intraA < 0:
+			intraA = ir.TaskID(i)
+		case !inter && task.Src == 2 && task.Dst == 3 && intraB < 0:
+			intraB = ir.TaskID(i)
+		}
+	}
+	if fromG0 < 0 || fromG1 < 0 || intraA < 0 || intraB < 0 {
+		t.Fatal("could not find probe tasks")
+	}
+	if !g.SharesLink(fromG0, fromG1) {
+		t.Error("inter-node tasks from NIC-sharing GPUs should share a link")
+	}
+	if g.SharesLink(intraA, intraB) {
+		t.Error("distinct intra-node pairs should not share a link")
+	}
+}
+
+// Property: for random ring-like algorithms the dependency graph is
+// always acyclic and decomposes by chunk.
+func TestPropertyDAGAcyclicByChunk(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7) // 2..8 ranks
+		a, err := expert.RingAllReduce(n)
+		if err != nil {
+			return false
+		}
+		g, err := Build(a, topo.New(1, n, topo.A100()))
+		if err != nil {
+			return false
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			return false
+		}
+		for t2 := range g.Tasks {
+			for _, d := range g.Deps[t2] {
+				if g.Tasks[d].Chunk != g.Tasks[t2].Chunk {
+					return false // data deps must stay within a chunk
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitiallyHolds(t *testing.T) {
+	if !InitiallyHolds(ir.OpAllGather, 3, 3, 8, 8) {
+		t.Error("AllGather: rank 3 should hold chunk 3")
+	}
+	if InitiallyHolds(ir.OpAllGather, 3, 4, 8, 8) {
+		t.Error("AllGather: rank 3 should not hold chunk 4")
+	}
+	if !InitiallyHolds(ir.OpAllGather, 3, 11, 8, 16) {
+		t.Error("AllGather: rank 3 should hold chunk 11 when nChunks=16")
+	}
+	if !InitiallyHolds(ir.OpAllReduce, 0, 7, 8, 8) {
+		t.Error("AllReduce: every rank holds every chunk")
+	}
+	if !InitiallyHolds(ir.OpReduceScatter, 5, 2, 8, 8) {
+		t.Error("ReduceScatter: every rank holds every chunk")
+	}
+}

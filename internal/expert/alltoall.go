@@ -1,0 +1,106 @@
+package expert
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// AllToAll algorithms (an extension beyond the paper's evaluation, using
+// the same IR): with nChunks = nRanks², chunk s·n+d carries rank s's
+// segment destined for rank d.
+
+// DirectAllToAll exchanges every segment pairwise: rank s sends chunk
+// s·n+d straight to d, staggering destinations by offset so each rank
+// drives one peer per step — the grouped point-to-point pattern vendor
+// libraries use.
+func DirectAllToAll(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: alltoall needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Direct-AllToAll",
+		Op:      ir.OpAllToAll,
+		NRanks:  nRanks,
+		NChunks: nRanks * nRanks,
+		NWarps:  16,
+	}
+	for s := 0; s < nRanks; s++ {
+		for off := 1; off < nRanks; off++ {
+			d := (s + off) % nRanks
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(s), Dst: ir.Rank(d),
+				Step: ir.Step(off - 1), Chunk: ir.ChunkID(s*nRanks + d), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}
+
+// HierarchicalAllToAll aggregates inter-node traffic through per-node
+// relays: segments bound for node X first gather at the local relay for
+// X, cross the network in one aggregated stream to X's mirror relay,
+// and scatter locally — the hierarchical exchange MoE systems use to
+// turn n² small messages into node²-scale aggregated ones. Node-local
+// segments move directly.
+func HierarchicalAllToAll(nNodes, gpn int) (*ir.Algorithm, error) {
+	if nNodes < 2 || gpn < 2 {
+		return nil, fmt.Errorf("expert: hierarchical alltoall needs ≥2 nodes and ≥2 GPUs/node, got %d×%d", nNodes, gpn)
+	}
+	n := nNodes * gpn
+	a := &ir.Algorithm{
+		Name:    "Hier-AllToAll",
+		Op:      ir.OpAllToAll,
+		NRanks:  n,
+		NChunks: n * n,
+		NWarps:  16,
+	}
+	chunk := func(s, d int) ir.ChunkID { return ir.ChunkID(s*n + d) }
+	// relayFor(Y, X) is the GPU on node Y that aggregates traffic bound
+	// for node X; spreading X over local indices balances the NICs.
+	relayFor := func(y, x int) int { return y*gpn + x%gpn }
+
+	for s := 0; s < n; s++ {
+		sNode := s / gpn
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			dNode := d / gpn
+			if dNode == sNode {
+				// Node-local segment: direct copy.
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(s), Dst: ir.Rank(d), Step: 0, Chunk: chunk(s, d), Type: ir.CommRecv,
+				})
+				continue
+			}
+			out := relayFor(sNode, dNode)
+			in := relayFor(dNode, sNode)
+			step := ir.Step(0)
+			cur := s
+			// Phase 1: gather at the outbound relay (skip if s is it).
+			if cur != out {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(cur), Dst: ir.Rank(out), Step: step, Chunk: chunk(s, d), Type: ir.CommRecv,
+				})
+				cur = out
+				step++
+			}
+			// Phase 2: one aggregated inter-node hop.
+			if cur != in {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(cur), Dst: ir.Rank(in), Step: step, Chunk: chunk(s, d), Type: ir.CommRecv,
+				})
+				cur = in
+				step++
+			}
+			// Phase 3: local scatter to the destination.
+			if cur != d {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(cur), Dst: ir.Rank(d), Step: step, Chunk: chunk(s, d), Type: ir.CommRecv,
+				})
+			}
+		}
+	}
+	return a, a.Validate()
+}

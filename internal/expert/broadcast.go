@@ -1,0 +1,88 @@
+package expert
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// BinomialBroadcast builds the classic binomial-tree broadcast from rank
+// 0: in round k, every rank that already holds the data sends it to the
+// rank 2^k positions away, so all n ranks are covered in ⌈log₂ n⌉
+// rounds. Every chunk follows the same tree; distinct chunks let the
+// backend pipeline rounds across micro-batches.
+func BinomialBroadcast(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: binomial broadcast needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Binomial-Broadcast",
+		Op:      ir.OpBroadcast,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	for c := 0; c < nRanks; c++ {
+		step := 0
+		for dist := 1; dist < nRanks; dist *= 2 {
+			for src := 0; src < dist && src < nRanks; src++ {
+				dst := src + dist
+				if dst >= nRanks {
+					continue
+				}
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(src), Dst: ir.Rank(dst),
+					Step: ir.Step(step), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+				})
+			}
+			step++
+		}
+	}
+	return a, a.Validate()
+}
+
+// HierarchicalBroadcast broadcasts from rank 0 across a multi-node
+// cluster: a binomial tree over the nodes' first GPUs followed by an
+// intra-node full-mesh fan-out — the hierarchical structure every
+// production library uses to keep inter-node hops to ⌈log₂ nodes⌉.
+func HierarchicalBroadcast(nNodes, gpn int) (*ir.Algorithm, error) {
+	if nNodes < 2 || gpn < 2 {
+		return nil, fmt.Errorf("expert: hierarchical broadcast needs ≥2 nodes and ≥2 GPUs/node, got %d×%d", nNodes, gpn)
+	}
+	n := nNodes * gpn
+	a := &ir.Algorithm{
+		Name:    "Hier-Broadcast",
+		Op:      ir.OpBroadcast,
+		NRanks:  n,
+		NChunks: n,
+		NWarps:  16,
+	}
+	for c := 0; c < n; c++ {
+		// Inter-node binomial tree over node leaders (local index 0).
+		step := 0
+		for dist := 1; dist < nNodes; dist *= 2 {
+			for srcNode := 0; srcNode < dist && srcNode < nNodes; srcNode++ {
+				dstNode := srcNode + dist
+				if dstNode >= nNodes {
+					continue
+				}
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(srcNode * gpn), Dst: ir.Rank(dstNode * gpn),
+					Step: ir.Step(step), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+				})
+			}
+			step++
+		}
+		// Intra-node fan-out from each leader.
+		for node := 0; node < nNodes; node++ {
+			leader := ir.Rank(node * gpn)
+			for l := 1; l < gpn; l++ {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: leader, Dst: ir.Rank(node*gpn + l),
+					Step: ir.Step(step), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+				})
+			}
+		}
+	}
+	return a, a.Validate()
+}

@@ -1,0 +1,117 @@
+package expert
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Logarithmic-step algorithms: latency-optimal collectives that finish
+// in ⌈log₂ n⌉ rounds, the classic alternatives to rings for small
+// payloads.
+
+// BruckAllGather builds the Bruck algorithm: in round k, rank r sends
+// every chunk it currently holds to rank (r − 2^k) mod n and receives
+// from (r + 2^k) mod n, doubling the held set each round. n need not be
+// a power of two; the final partial round sends only the chunks still
+// missing at the destination.
+func BruckAllGather(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: bruck allgather needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Bruck-AllGather",
+		Op:      ir.OpAllGather,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	// held[r] is the set of chunk offsets (relative to r) present at r:
+	// after round k, offsets [0, min(2^(k+1), n)).
+	held := 1
+	step := 0
+	for held < nRanks {
+		send := held
+		if held+send > nRanks {
+			send = nRanks - held // partial final round
+		}
+		for r := 0; r < nRanks; r++ {
+			dst := ((r-held)%nRanks + nRanks) % nRanks
+			// r holds chunks (r+off) mod n for off in [0, held); it
+			// forwards offsets [0, send) — which become offsets
+			// [held, held+send) at dst.
+			for off := 0; off < send; off++ {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(r), Dst: ir.Rank(dst),
+					Step: ir.Step(step), Chunk: ir.ChunkID((r + off) % nRanks),
+					Type: ir.CommRecv,
+				})
+			}
+		}
+		held += send
+		step++
+	}
+	return a, a.Validate()
+}
+
+// RHDAllReduce builds the recursive halving–doubling AllReduce for
+// power-of-two rank counts: log₂ n rounds of pairwise reduce-scatter
+// with exponentially shrinking distance, then log₂ n rounds of pairwise
+// all-gather back out — the bandwidth-optimal log-step algorithm.
+func RHDAllReduce(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 || nRanks&(nRanks-1) != 0 {
+		return nil, fmt.Errorf("expert: recursive halving-doubling needs a power-of-two rank count, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "RHD-AllReduce",
+		Op:      ir.OpAllReduce,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	// Reduce-scatter halving: in round k (distance d = n/2^(k+1)),
+	// partner pairs exchange the half of their current chunk range that
+	// the partner is responsible for. Responsibility ranges: rank r ends
+	// owning exactly chunk r.
+	step := 0
+	for d := nRanks / 2; d >= 1; d /= 2 {
+		for r := 0; r < nRanks; r++ {
+			partner := r ^ d
+			// r sends the chunks in the partner's current responsibility
+			// block: the d chunks starting at (partner / d) * d... the
+			// block of size d containing `partner`.
+			base := (partner / d) * d
+			for c := base; c < base+d; c++ {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(r), Dst: ir.Rank(partner),
+					Step: ir.Step(step), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecvReduceCopy,
+				})
+			}
+		}
+		step++
+	}
+	// All-gather doubling: mirror the rounds to spread the reduced
+	// chunks back.
+	for d := 1; d < nRanks; d *= 2 {
+		for r := 0; r < nRanks; r++ {
+			partner := r ^ d
+			base := (r / d) * d
+			for c := base; c < base+d; c++ {
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(r), Dst: ir.Rank(partner),
+					Step: ir.Step(step), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecv,
+				})
+			}
+		}
+		step++
+	}
+	// The all-gather phase starts after the log₂ n reduce-scatter rounds.
+	rsRounds := 0
+	for d := nRanks / 2; d >= 1; d /= 2 {
+		rsRounds++
+	}
+	a.StageBounds = []ir.Step{0, ir.Step(rsRounds)}
+	return a, a.Validate()
+}

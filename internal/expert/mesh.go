@@ -1,0 +1,74 @@
+package expert
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// MeshAllReduce builds the single-node full-mesh AllReduce used for
+// tensor-parallel groups inside one server: a full-mesh ReduceScatter
+// (every GPU sends chunk d directly to GPU d) followed by a full-mesh
+// AllGather (every GPU broadcasts its reduced chunk), exploiting the
+// NVSwitch's all-to-all connectivity in 2(n−1) steps.
+func MeshAllReduce(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: mesh allreduce needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Mesh-AllReduce",
+		Op:      ir.OpAllReduce,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	// ReduceScatter: at step off, rank r sends chunk d to its (off+1)-th
+	// neighbour d = (r+off+1) mod n, which reduces it in place.
+	for r := 0; r < nRanks; r++ {
+		for off := 0; off < nRanks-1; off++ {
+			d := (r + off + 1) % nRanks
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(r), Dst: ir.Rank(d),
+				Step: ir.Step(off), Chunk: ir.ChunkID(d), Type: ir.CommRecvReduceCopy,
+			})
+		}
+	}
+	// AllGather: rank r broadcasts its fully reduced chunk r.
+	base := nRanks - 1
+	for r := 0; r < nRanks; r++ {
+		for off := 0; off < nRanks-1; off++ {
+			d := (r + off + 1) % nRanks
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(r), Dst: ir.Rank(d),
+				Step: ir.Step(base + off), Chunk: ir.ChunkID(r), Type: ir.CommRecv,
+			})
+		}
+	}
+	a.StageBounds = []ir.Step{0, ir.Step(base)}
+	return a, a.Validate()
+}
+
+// MeshAllGather builds the single-node full-mesh AllGather: every GPU
+// broadcasts its own chunk to all peers in n−1 steps.
+func MeshAllGather(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: mesh allgather needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Mesh-AllGather",
+		Op:      ir.OpAllGather,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	for r := 0; r < nRanks; r++ {
+		for off := 0; off < nRanks-1; off++ {
+			d := (r + off + 1) % nRanks
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(r), Dst: ir.Rank(d),
+				Step: ir.Step(off), Chunk: ir.ChunkID(r), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}

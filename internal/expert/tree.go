@@ -1,0 +1,136 @@
+package expert
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Double binary tree AllReduce, NCCL's latency-optimised standard
+// algorithm: two complementary trees each reduce-then-broadcast half of
+// the chunks, so every rank's links are used in both directions.
+//
+// Tree shape is the binary heap over positions 0..n−1; the second tree
+// maps positions through a rotation so its interior nodes differ from
+// the first tree's.
+
+// treeEdge is one parent/child relation in heap positions.
+func heapChildren(pos, n int) (l, r int) {
+	l, r = 2*pos+1, 2*pos+2
+	if l >= n {
+		l = -1
+	}
+	if r >= n {
+		r = -1
+	}
+	return l, r
+}
+
+// reduceSteps computes, for each position, the step at which it sends
+// its reduced value to its parent, such that (a) a node sends only after
+// receiving from both children and (b) the two children of a node send
+// at distinct steps (same-chunk writes at the parent must be ordered).
+func reduceSteps(n int) []int {
+	steps := make([]int, n)
+	var visit func(pos int) int // returns the step the node sends at
+	visit = func(pos int) int {
+		l, r := heapChildren(pos, n)
+		ready := 0
+		var ls, rs = -1, -1
+		if l >= 0 {
+			ls = visit(l)
+			if ls+1 > ready {
+				ready = ls + 1
+			}
+		}
+		if r >= 0 {
+			rs = visit(r)
+			if rs+1 > ready {
+				ready = rs + 1
+			}
+		}
+		// Stagger siblings: the right child must not collide with the
+		// left child's send into the shared parent.
+		if r >= 0 && steps[r] == steps[l] {
+			steps[r]++
+			if steps[r]+1 > ready {
+				ready = steps[r] + 1
+			}
+		}
+		steps[pos] = ready
+		return ready
+	}
+	visit(0)
+	return steps
+}
+
+// TreeAllReduce builds a double-binary-tree AllReduce over nRanks ranks:
+// chunks with even index travel tree A (identity position mapping),
+// chunks with odd index travel tree B (positions rotated by ⌈n/2⌉).
+// Each tree runs a reduce phase (recvReduceCopy towards the root)
+// followed by a broadcast phase (recv towards the leaves).
+func TreeAllReduce(nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("expert: tree allreduce needs ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "DBTree-AllReduce",
+		Op:      ir.OpAllReduce,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+		NWarps:  16,
+	}
+	red := reduceSteps(nRanks)
+	maxRed := 0
+	for _, s := range red {
+		if s > maxRed {
+			maxRed = s
+		}
+	}
+	// Broadcast step per position: root's children receive first.
+	bc := make([]int, nRanks)
+	var walk func(pos, step int)
+	walk = func(pos, step int) {
+		bc[pos] = step
+		l, r := heapChildren(pos, nRanks)
+		if l >= 0 {
+			walk(l, step+1)
+		}
+		if r >= 0 {
+			walk(r, step+1)
+		}
+	}
+	walk(0, maxRed)
+
+	perm := func(tree, pos int) int {
+		if tree == 0 {
+			return pos
+		}
+		return (pos + (nRanks+1)/2) % nRanks
+	}
+	for tree := 0; tree < 2; tree++ {
+		for c := 0; c < a.NChunks; c++ {
+			if c%2 != tree%2 {
+				continue
+			}
+			for pos := 1; pos < nRanks; pos++ {
+				parent := (pos - 1) / 2
+				src, dst := perm(tree, pos), perm(tree, parent)
+				// Reduce up.
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(src), Dst: ir.Rank(dst),
+					Step: ir.Step(red[pos]), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecvReduceCopy,
+				})
+				// Broadcast down.
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: ir.Rank(dst), Dst: ir.Rank(src),
+					Step: ir.Step(bc[pos] + 1), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecv,
+				})
+			}
+		}
+	}
+	a.StageBounds = []ir.Step{0, ir.Step(maxRed + 1)}
+	return a, a.Validate()
+}

@@ -1,0 +1,289 @@
+// Package kernel defines the executable communication plan — the
+// "lightweight kernel" of §4.5 — and its generation from a scheduled,
+// TB-allocated pipeline.
+//
+// A kernel is organised along the paper's three dimensions: the rank
+// dimension (which primitives each GPU executes), the TB dimension
+// (which primitives each thread block executes), and the pipeline
+// dimension (the per-TB slot order; each slot cycles through all of its
+// micro-batch invocations). Baseline backends produce the same Kernel
+// structure with different slot orders and run it in interpreted mode,
+// which charges the runtime-interpreter overhead per primitive
+// invocation (§2.2, Fig. 3).
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/sched"
+	"github.com/resccl/resccl/internal/talloc"
+)
+
+// ExecMode selects how the runtime drives the plan.
+type ExecMode int
+
+// Execution modes.
+const (
+	// ModeDirect executes a generated kernel: no per-primitive parsing
+	// cost, one-time load cost per thread block.
+	ModeDirect ExecMode = iota
+	// ModeInterpreted emulates existing backends' runtime interpreter:
+	// every primitive invocation pays the profile's InterpCost.
+	ModeInterpreted
+)
+
+func (m ExecMode) String() string {
+	if m == ModeDirect {
+		return "direct"
+	}
+	return "interpreted"
+}
+
+// MBOrder is the loop structure of a TB program.
+type MBOrder int
+
+// Micro-batch loop orders.
+const (
+	// TaskMajor iterates slots outermost: each slot (primitive) runs all
+	// micro-batch invocations before the TB advances — ResCCL's
+	// task-level execution (§3).
+	TaskMajor MBOrder = iota
+	// MBMajor iterates micro-batches outermost: the TB executes its
+	// whole slot list for micro-batch 0, then 1, … — the lazy
+	// algorithm-level (and per-stage) execution of existing backends.
+	MBMajor
+)
+
+func (o MBOrder) String() string {
+	if o == TaskMajor {
+		return "task-major"
+	}
+	return "mb-major"
+}
+
+// TBProgram is the instruction stream of one thread block.
+type TBProgram struct {
+	ID    int
+	Rank  ir.Rank
+	Order MBOrder
+	// Slots are the primitives in pipeline order.
+	Slots []ir.Primitive
+	// Label describes the TB's role for traces ("0→1/send",
+	// "stage2/3→7/recv", …).
+	Label string
+}
+
+// NInstr returns the number of primitive invocations the TB executes for
+// nMB micro-batches.
+func (p *TBProgram) NInstr(nMB int) int { return len(p.Slots) * nMB }
+
+// Instr returns the k-th instruction (slot, micro-batch) under the TB's
+// loop order. k ranges over [0, NInstr).
+func (p *TBProgram) Instr(k, nMB int) (slot, mb int) {
+	if p.Order == TaskMajor {
+		return k / nMB, k % nMB
+	}
+	return k % len(p.Slots), k / len(p.Slots)
+}
+
+// Kernel is a complete executable plan for one collective on one
+// topology.
+type Kernel struct {
+	Name  string
+	Graph *dag.Graph
+	Mode  ExecMode
+	TBs   []*TBProgram
+
+	// SendTB[t] / RecvTB[t] locate task t's two primitives.
+	SendTB, RecvTB []int
+
+	// LinkPreds[t] lists tasks that must complete all micro-batch
+	// invocations before task t may start: ResCCL's serialization of
+	// communication-dependent tasks (§3). Nil for baseline kernels,
+	// which instead contend on links at runtime.
+	LinkPreds [][]ir.TaskID
+
+	// MBBarrier marks lazy algorithm-level execution (§2.1): the
+	// backend launches one pass per micro-batch, so no invocation of
+	// micro-batch i may start before every task has finished micro-batch
+	// i−1. Stage-level and task-level kernels pipeline across
+	// micro-batches and leave this false.
+	MBBarrier bool
+}
+
+// NTBs returns the number of thread blocks in the plan.
+func (k *Kernel) NTBs() int { return len(k.TBs) }
+
+// TBsOnRank returns the TB IDs hosted on rank r, for SM accounting.
+func (k *Kernel) TBsOnRank(r ir.Rank) []int {
+	var out []int
+	for _, tb := range k.TBs {
+		if tb.Rank == r {
+			out = append(out, tb.ID)
+		}
+	}
+	return out
+}
+
+// MaxTBsPerRank returns the largest per-rank TB count — the per-GPU SM
+// footprint reported in Table 3.
+func (k *Kernel) MaxTBsPerRank() int {
+	counts := make(map[ir.Rank]int)
+	m := 0
+	for _, tb := range k.TBs {
+		counts[tb.Rank]++
+		if counts[tb.Rank] > m {
+			m = counts[tb.Rank]
+		}
+	}
+	return m
+}
+
+// Generate lowers a scheduled, TB-allocated pipeline into a direct
+// ResCCL kernel (Fig. 5(f)): per TB, the assigned primitives ordered by
+// global pipeline position, task-major micro-batch looping, and
+// link-predecessor serialization derived from the schedule.
+func Generate(p *sched.Pipeline, a *talloc.Assignment) (*Kernel, error) {
+	g := p.Graph
+	if err := talloc.Validate(g, a); err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		Name:      g.Algo.Name,
+		Graph:     g,
+		Mode:      ModeDirect,
+		SendTB:    append([]int(nil), a.SendTB...),
+		RecvTB:    append([]int(nil), a.RecvTB...),
+		LinkPreds: make([][]ir.TaskID, len(g.Tasks)),
+	}
+	k.TBs = make([]*TBProgram, len(a.TBs))
+	for i, tb := range a.TBs {
+		label := ""
+		for j, ep := range tb.Endpoints {
+			if j > 0 {
+				label += "+"
+			}
+			label += ep.String()
+		}
+		k.TBs[i] = &TBProgram{ID: i, Rank: tb.Rank, Order: TaskMajor, Label: label}
+	}
+	// Fill slots in global pipeline position order so every TB's slot
+	// sequence is a subsequence of one total order — this guarantees the
+	// rendezvous graph is deadlock-free.
+	for _, t := range p.OrderedTasks() {
+		task := g.Tasks[t]
+		send, recv := task.Primitives()
+		k.TBs[a.SendTB[t]].Slots = append(k.TBs[a.SendTB[t]].Slots, send)
+		k.TBs[a.RecvTB[t]].Slots = append(k.TBs[a.RecvTB[t]].Slots, recv)
+	}
+	// Link predecessors: tasks occupy each communication link in pipeline
+	// position order through a sliding window of LinkWindows[l] slots (the
+	// Fig. 4 saturation point): the i-th task on a link waits until the
+	// (i−window)-th has drained all its micro-batches, so at most `window`
+	// tasks drive the link concurrently and aggregate TB capability never
+	// exceeds the link's bandwidth.
+	linkHist := make(map[int32][]ir.TaskID)
+	for _, t := range p.OrderedTasks() {
+		var preds []ir.TaskID
+		for _, l := range g.Links[t] {
+			hist := append(linkHist[int32(l)], t)
+			linkHist[int32(l)] = hist
+			w := g.LinkWindows[l]
+			if w < 1 {
+				w = 1
+			}
+			if len(hist) > w {
+				preds = append(preds, hist[len(hist)-1-w])
+			}
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		preds = dedupTasks(preds)
+		k.LinkPreds[t] = preds
+	}
+	if err := Validate(k); err != nil {
+		return nil, fmt.Errorf("kernel: generated kernel invalid: %w", err)
+	}
+	return k, nil
+}
+
+func dedupTasks(ts []ir.TaskID) []ir.TaskID {
+	if len(ts) < 2 {
+		return ts
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Validate checks kernel invariants: every task's send primitive appears
+// exactly once in its SendTB on the source rank, its receive primitive
+// exactly once in its RecvTB on the destination rank, and no TB contains
+// primitives for tasks not assigned to it.
+func Validate(k *Kernel) error {
+	g := k.Graph
+	if len(k.SendTB) != len(g.Tasks) || len(k.RecvTB) != len(g.Tasks) {
+		return fmt.Errorf("kernel %q: task/TB table size mismatch", k.Name)
+	}
+	sendSeen := make([]int, len(g.Tasks))
+	recvSeen := make([]int, len(g.Tasks))
+	for _, tb := range k.TBs {
+		if len(tb.Slots) == 0 {
+			return fmt.Errorf("kernel %q: TB %d (%s) has no slots", k.Name, tb.ID, tb.Label)
+		}
+		for _, prim := range tb.Slots {
+			t := prim.Task.ID
+			if int(t) < 0 || int(t) >= len(g.Tasks) {
+				return fmt.Errorf("kernel %q: TB %d references unknown task %d", k.Name, tb.ID, t)
+			}
+			if prim.Rank != tb.Rank {
+				return fmt.Errorf("kernel %q: TB %d on rank %d holds primitive for rank %d",
+					k.Name, tb.ID, tb.Rank, prim.Rank)
+			}
+			switch prim.Kind {
+			case ir.PrimSend:
+				sendSeen[t]++
+				if k.SendTB[t] != tb.ID {
+					return fmt.Errorf("kernel %q: task %d send primitive in TB %d, table says %d",
+						k.Name, t, tb.ID, k.SendTB[t])
+				}
+			case ir.PrimRecv, ir.PrimRecvReduceCopy:
+				recvSeen[t]++
+				if k.RecvTB[t] != tb.ID {
+					return fmt.Errorf("kernel %q: task %d recv primitive in TB %d, table says %d",
+						k.Name, t, tb.ID, k.RecvTB[t])
+				}
+			}
+		}
+	}
+	for t := range g.Tasks {
+		if sendSeen[t] != 1 || recvSeen[t] != 1 {
+			return fmt.Errorf("kernel %q: task %d has %d send / %d recv primitives (want 1/1)",
+				k.Name, t, sendSeen[t], recvSeen[t])
+		}
+	}
+	for t, preds := range k.LinkPreds {
+		for _, p := range preds {
+			if int(p) < 0 || int(p) >= len(g.Tasks) || int(p) == t {
+				return fmt.Errorf("kernel %q: task %d has invalid link predecessor %d", k.Name, t, p)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalSlots returns the total primitive count across TBs (each task
+// contributes two).
+func (k *Kernel) TotalSlots() int {
+	n := 0
+	for _, tb := range k.TBs {
+		n += len(tb.Slots)
+	}
+	return n
+}

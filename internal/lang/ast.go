@@ -1,0 +1,161 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed ResCCLang algorithm definition: the ResCCLAlgo
+// header parameters and the statement body.
+type Program struct {
+	// Params are the header parameters in declaration order.
+	Params []Param
+	Body   []Stmt
+	// Line is the source line of the def header.
+	Line int
+}
+
+// Param is one `name = value` parameter of the ResCCLAlgo header. Exactly
+// one of Int/Str is meaningful depending on the parameter.
+type Param struct {
+	Name string
+	// IsStr reports whether the parameter value was a string literal.
+	IsStr bool
+	Int   int
+	Str   string
+	Line  int
+	Col   int
+}
+
+// Stmt is a ResCCLang statement: assignment, for loop, or transfer call.
+type Stmt interface {
+	stmtNode()
+	// Pos returns the statement's source position.
+	Pos() (line, col int)
+}
+
+// Assign is `id = exp`.
+type Assign struct {
+	Name      string
+	Value     Expr
+	Line, Col int
+}
+
+func (*Assign) stmtNode()         {}
+func (s *Assign) Pos() (int, int) { return s.Line, s.Col }
+
+// For is `for id in range(exprs...): body`. Range takes one to three
+// arguments with Python semantics (stop | start,stop | start,stop,step).
+type For struct {
+	Var       string
+	RangeArgs []Expr
+	Body      []Stmt
+	Line, Col int
+}
+
+func (*For) stmtNode()         {}
+func (s *For) Pos() (int, int) { return s.Line, s.Col }
+
+// TransferStmt is `transfer(src, dst, step, chunk, commType)`.
+type TransferStmt struct {
+	Args      []Expr // the four integer expressions
+	CommType  string // "recv" or "rrc"
+	Line, Col int
+}
+
+func (*TransferStmt) stmtNode()         {}
+func (s *TransferStmt) Pos() (int, int) { return s.Line, s.Col }
+
+// Expr is an integer expression.
+type Expr interface {
+	exprNode()
+	// Pos returns the expression's source position.
+	Pos() (line, col int)
+	String() string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value     int
+	Line, Col int
+}
+
+func (*IntLit) exprNode()         {}
+func (e *IntLit) Pos() (int, int) { return e.Line, e.Col }
+func (e *IntLit) String() string  { return fmt.Sprintf("%d", e.Value) }
+
+// Ident is a variable reference.
+type Ident struct {
+	Name      string
+	Line, Col int
+}
+
+func (*Ident) exprNode()         {}
+func (e *Ident) Pos() (int, int) { return e.Line, e.Col }
+func (e *Ident) String() string  { return e.Name }
+
+// BinOp is `lhs op rhs` with op one of + - * / %.
+type BinOp struct {
+	Op        byte
+	LHS, RHS  Expr
+	Line, Col int
+}
+
+func (*BinOp) exprNode()         {}
+func (e *BinOp) Pos() (int, int) { return e.Line, e.Col }
+func (e *BinOp) String() string {
+	return fmt.Sprintf("(%s %c %s)", e.LHS, e.Op, e.RHS)
+}
+
+// Neg is unary minus.
+type Neg struct {
+	Operand   Expr
+	Line, Col int
+}
+
+func (*Neg) exprNode()         {}
+func (e *Neg) Pos() (int, int) { return e.Line, e.Col }
+func (e *Neg) String() string  { return "(-" + e.Operand.String() + ")" }
+
+// String renders the program back to (normalised) ResCCLang source.
+func (p *Program) String() string {
+	var sb strings.Builder
+	sb.WriteString("def ResCCLAlgo(")
+	for i, par := range p.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if par.IsStr {
+			fmt.Fprintf(&sb, "%s=%q", par.Name, par.Str)
+		} else {
+			fmt.Fprintf(&sb, "%s=%d", par.Name, par.Int)
+		}
+	}
+	sb.WriteString("):\n")
+	writeStmts(&sb, p.Body, 1)
+	return sb.String()
+}
+
+func writeStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *Assign:
+			fmt.Fprintf(sb, "%s%s = %s\n", indent, st.Name, st.Value)
+		case *For:
+			args := make([]string, len(st.RangeArgs))
+			for i, a := range st.RangeArgs {
+				args[i] = a.String()
+			}
+			fmt.Fprintf(sb, "%sfor %s in range(%s):\n", indent, st.Var, strings.Join(args, ", "))
+			writeStmts(sb, st.Body, depth+1)
+		case *TransferStmt:
+			args := make([]string, 0, len(st.Args)+1)
+			for _, a := range st.Args {
+				args = append(args, a.String())
+			}
+			args = append(args, st.CommType)
+			fmt.Fprintf(sb, "%stransfer(%s)\n", indent, strings.Join(args, ", "))
+		}
+	}
+}

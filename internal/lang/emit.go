@@ -1,0 +1,42 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Emit renders an algorithm as a ResCCLang program: the ResCCLAlgo
+// header reconstructed from the algorithm's metadata followed by one
+// transfer statement per transmission task in deterministic (step,
+// chunk, src, dst) order. Emit is the inverse of Compile up to transfer
+// multiset equality: Compile(Emit(a)) yields an algorithm with exactly
+// a's transfers.
+//
+// Synthesizers use Emit to hand their plans to any ResCCLang-consuming
+// toolchain; tests use it to check front-end round-tripping.
+func Emit(a *ir.Algorithm) (string, error) {
+	if err := a.Validate(); err != nil {
+		return "", fmt.Errorf("lang: cannot emit invalid algorithm: %w", err)
+	}
+	wantChunks := a.NRanks
+	if a.Op == ir.OpAllToAll {
+		wantChunks = a.NRanks * a.NRanks
+	}
+	if a.NChunks != wantChunks {
+		return "", fmt.Errorf("lang: ResCCLang fixes nChunks == %d for %v over %d ranks; algorithm %q has %d",
+			wantChunks, a.Op, a.NRanks, a.Name, a.NChunks)
+	}
+	var b strings.Builder
+	name := a.Name
+	if name == "" {
+		name = "Emitted"
+	}
+	fmt.Fprintf(&b, "def ResCCLAlgo(nRanks=%d, nChannels=%d, nWarps=%d, AlgoName=%q, OpType=%q):\n",
+		a.NRanks, max(1, a.NChannels), max(1, a.NWarps), name, a.Op.String())
+	for _, t := range a.Sorted() {
+		fmt.Fprintf(&b, "    transfer(%d, %d, %d, %d, %s)\n", t.Src, t.Dst, t.Step, t.Chunk, t.Type)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,295 @@
+package lang
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Evaluation limits. Algorithms are compiled offline, so the limits are
+// generous, but a runaway loop in a hand-written DSL program must fail
+// with a useful error rather than exhaust memory.
+const (
+	maxTransfers  = 64 << 20
+	maxIterations = 512 << 20
+)
+
+// Header parameter names accepted by ResCCLAlgo, per the BNF.
+var headerParams = map[string]bool{
+	"nRanks":     true,
+	"nChannels":  true,
+	"nWarps":     true,
+	"AlgoName":   true,
+	"OpType":     true,
+	"GPUPerNode": true,
+	"NICPerNode": true,
+}
+
+// Eval executes a parsed ResCCLang program and returns the algorithm it
+// denotes. Integer header parameters are visible in the body under their
+// parameter names. Arithmetic follows Python semantics (floor division,
+// sign-of-divisor modulo) because ResCCLang programs are written in the
+// paper with Python-style `(offset - step) % N` wraparound indexing.
+func Eval(prog *Program) (*ir.Algorithm, error) {
+	algo := &ir.Algorithm{
+		Name:      "ResCCLAlgo",
+		Op:        ir.OpAllGather,
+		NChannels: 1,
+		NWarps:    16,
+	}
+	env := map[string]int{}
+	opSet := false
+	for _, par := range prog.Params {
+		if !headerParams[par.Name] {
+			return nil, errf(par.Line, par.Col, "unknown ResCCLAlgo parameter %q", par.Name)
+		}
+		switch par.Name {
+		case "AlgoName":
+			if !par.IsStr {
+				return nil, errf(par.Line, par.Col, "AlgoName must be a string")
+			}
+			algo.Name = par.Str
+		case "OpType":
+			if !par.IsStr {
+				return nil, errf(par.Line, par.Col, "OpType must be a string")
+			}
+			op, err := ir.ParseOpType(par.Str)
+			if err != nil {
+				return nil, errf(par.Line, par.Col, "%v", err)
+			}
+			algo.Op = op
+			opSet = true
+		default:
+			if par.IsStr {
+				return nil, errf(par.Line, par.Col, "%s must be an integer", par.Name)
+			}
+			env[par.Name] = par.Int
+			switch par.Name {
+			case "nRanks":
+				algo.NRanks = par.Int
+			case "nChannels":
+				algo.NChannels = par.Int
+			case "nWarps":
+				algo.NWarps = par.Int
+			}
+		}
+	}
+	if algo.NRanks == 0 {
+		return nil, errf(prog.Line, 1, "ResCCLAlgo requires an nRanks parameter")
+	}
+	if !opSet {
+		return nil, errf(prog.Line, 1, "ResCCLAlgo requires an OpType parameter")
+	}
+	algo.NChunks = algo.NRanks
+	if algo.Op == ir.OpAllToAll {
+		// Personalized exchange: chunk s·nRanks+d carries rank s's
+		// segment for rank d.
+		algo.NChunks = algo.NRanks * algo.NRanks
+	}
+
+	ev := &evaluator{env: env, algo: algo}
+	if err := ev.execBlock(prog.Body); err != nil {
+		return nil, err
+	}
+	if err := algo.Validate(); err != nil {
+		return nil, fmt.Errorf("lang: evaluated program is invalid: %w", err)
+	}
+	return algo, nil
+}
+
+// Compile parses and evaluates ResCCLang source in one call.
+func Compile(src string) (*ir.Algorithm, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(prog)
+}
+
+type evaluator struct {
+	env   map[string]int
+	algo  *ir.Algorithm
+	iters int
+}
+
+func (ev *evaluator) execBlock(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := ev.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) execStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Assign:
+		v, err := ev.eval(st.Value)
+		if err != nil {
+			return err
+		}
+		ev.env[st.Name] = v
+		return nil
+	case *For:
+		return ev.execFor(st)
+	case *TransferStmt:
+		return ev.execTransfer(st)
+	default:
+		line, col := s.Pos()
+		return errf(line, col, "internal: unknown statement type %T", s)
+	}
+}
+
+func (ev *evaluator) execFor(st *For) error {
+	start, stop, step := 0, 0, 1
+	switch len(st.RangeArgs) {
+	case 1:
+		v, err := ev.eval(st.RangeArgs[0])
+		if err != nil {
+			return err
+		}
+		stop = v
+	case 2, 3:
+		v0, err := ev.eval(st.RangeArgs[0])
+		if err != nil {
+			return err
+		}
+		v1, err := ev.eval(st.RangeArgs[1])
+		if err != nil {
+			return err
+		}
+		start, stop = v0, v1
+		if len(st.RangeArgs) == 3 {
+			v2, err := ev.eval(st.RangeArgs[2])
+			if err != nil {
+				return err
+			}
+			step = v2
+		}
+	}
+	if step == 0 {
+		return errf(st.Line, st.Col, "range() step must not be zero")
+	}
+	// Save and restore any shadowed loop variable so sibling loops can
+	// reuse names, matching Python's scoping closely enough for the DSL.
+	old, had := ev.env[st.Var]
+	defer func() {
+		if had {
+			ev.env[st.Var] = old
+		} else {
+			delete(ev.env, st.Var)
+		}
+	}()
+	for i := start; (step > 0 && i < stop) || (step < 0 && i > stop); i += step {
+		ev.iters++
+		if ev.iters > maxIterations {
+			return errf(st.Line, st.Col, "loop iteration limit exceeded (%d)", maxIterations)
+		}
+		ev.env[st.Var] = i
+		if err := ev.execBlock(st.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) execTransfer(st *TransferStmt) error {
+	vals := make([]int, 4)
+	for i, a := range st.Args {
+		v, err := ev.eval(a)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	ct, err := ir.ParseCommType(st.CommType)
+	if err != nil {
+		return errf(st.Line, st.Col, "%v", err)
+	}
+	tr := ir.Transfer{
+		Src:   ir.Rank(vals[0]),
+		Dst:   ir.Rank(vals[1]),
+		Step:  ir.Step(vals[2]),
+		Chunk: ir.ChunkID(vals[3]),
+		Type:  ct,
+	}
+	if err := tr.Validate(ev.algo.NRanks, ev.algo.NChunks); err != nil {
+		return errf(st.Line, st.Col, "%v", err)
+	}
+	if len(ev.algo.Transfers) >= maxTransfers {
+		return errf(st.Line, st.Col, "transfer count limit exceeded (%d)", maxTransfers)
+	}
+	ev.algo.Transfers = append(ev.algo.Transfers, tr)
+	return nil
+}
+
+func (ev *evaluator) eval(e Expr) (int, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Value, nil
+	case *Ident:
+		v, ok := ev.env[ex.Name]
+		if !ok {
+			return 0, errf(ex.Line, ex.Col, "undefined variable %q", ex.Name)
+		}
+		return v, nil
+	case *Neg:
+		v, err := ev.eval(ex.Operand)
+		if err != nil {
+			return 0, err
+		}
+		return -v, nil
+	case *BinOp:
+		l, err := ev.eval(ex.LHS)
+		if err != nil {
+			return 0, err
+		}
+		r, err := ev.eval(ex.RHS)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			if r == 0 {
+				return 0, errf(ex.Line, ex.Col, "division by zero")
+			}
+			return floorDiv(l, r), nil
+		case '%':
+			if r == 0 {
+				return 0, errf(ex.Line, ex.Col, "modulo by zero")
+			}
+			return pyMod(l, r), nil
+		}
+		return 0, errf(ex.Line, ex.Col, "internal: unknown operator %c", ex.Op)
+	default:
+		line, col := e.Pos()
+		return 0, errf(line, col, "internal: unknown expression type %T", e)
+	}
+}
+
+// floorDiv is Python floor division: the quotient rounded toward
+// negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// pyMod is Python modulo: the result has the sign of the divisor, so
+// (offset-step) % N is non-negative for positive N — ResCCLang programs
+// rely on this for ring index wraparound.
+func pyMod(a, b int) int {
+	m := a % b
+	if m != 0 && ((m < 0) != (b < 0)) {
+		m += b
+	}
+	return m
+}

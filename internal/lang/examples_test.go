@@ -1,0 +1,41 @@
+package lang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/resccl/resccl/internal/collective"
+)
+
+// Every shipped .rcl example must compile and satisfy its operator's
+// postcondition.
+func TestShippedAlgorithmsCompileAndVerify(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "algorithms")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".rcl" {
+			continue
+		}
+		n++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		algo, err := Compile(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if err := collective.Check(algo); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if n < 5 {
+		t.Fatalf("expected at least 5 shipped algorithms, found %d", n)
+	}
+}

@@ -1,0 +1,24 @@
+package lang
+
+import "testing"
+
+// FuzzCompile feeds arbitrary source through the full front end: the
+// invariant is that Compile either returns an error or a structurally
+// valid algorithm — never a panic.
+func FuzzCompile(f *testing.F) {
+	f.Add(ringSrc)
+	f.Add(hmSrc)
+	f.Add("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n")
+	f.Add("def ResCCLAlgo(nRanks=2, OpType=\"Allreduce\"):\n    for i in range(0, 1):\n        transfer(i, 1-i, 0, i, rrc)\n")
+	f.Add("def ResCCLAlgo(")
+	f.Add("x = ((((1))))")
+	f.Add("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n\ttransfer(0, 1, 0, 0, recv)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		algo, err := Compile(src)
+		if err == nil {
+			if verr := algo.Validate(); verr != nil {
+				t.Fatalf("Compile returned invalid algorithm: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// ringSrc is the ring AllGather of Fig. 5(a), written in ResCCLang.
+const ringSrc = `
+# Ring AllGather, N ranks.
+def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
+    N = 4
+    for r in range(0, N):
+        offset = r
+        peer = (r+1)%N
+        for step in range(0, N-1):
+            transfer(r, peer, step, (offset-step)%N, recv)
+`
+
+// hmSrc is the paper's Fig. 16 program: HM AllReduce for 32 GPUs over 4
+// nodes, transcribed verbatim (modulo whitespace).
+const hmSrc = `
+def ResCCLAlgo(nRanks=32, nChannels=4, nWarps=16, AlgoName="HM", OpType="Allreduce", GPUPerNode=8, NICPerNode=8):
+    nNodes = 4
+    nGpusperNode = 8
+    nChunks = nNodes * nGpusperNode
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes):
+                for offset in range(0, nGpusperNode - 1):
+                    srcRank = nGpusperNode * n + r
+                    dstRank = (r + offset + 1) % nGpusperNode + nGpusperNode * n
+                    step = baseStep * (nGpusperNode - 1) + offset
+                    transfer(srcRank, dstRank, step, (dstRank + baseStep * nGpusperNode) % nChunks, rrc)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes - 1):
+                srcRank = nGpusperNode * n + r
+                dstRank = (srcRank + nGpusperNode) % nChunks
+                step = nNodes * (nGpusperNode - 1) + baseStep
+                transfer(srcRank, dstRank, step, (srcRank + nChunks - baseStep * nGpusperNode) % nChunks, rrc)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes - 1):
+                srcRank = nGpusperNode * n + r
+                dstRank = (srcRank + nGpusperNode) % nChunks
+                step = nNodes * (nGpusperNode - 1) + nNodes - 1 + baseStep
+                chunkId = (srcRank + nChunks - (baseStep + nNodes - 1) * nGpusperNode) % nChunks
+                transfer(srcRank, dstRank, step, chunkId, recv)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes):
+                for offset in range(0, nGpusperNode - 1):
+                    srcRank = nGpusperNode * n + r
+                    dstRank = (r + offset + 1) % nGpusperNode + nGpusperNode * n
+                    step = nNodes * (nGpusperNode - 1) + 2 * nNodes - 2 + baseStep
+                    transfer(srcRank, dstRank, step, (srcRank + baseStep * nGpusperNode) % nChunks, recv)
+`
+
+func TestCompileRing(t *testing.T) {
+	algo, err := Compile(ringSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Name != "Ring" || algo.Op != ir.OpAllGather || algo.NRanks != 4 {
+		t.Fatalf("header mismatch: %+v", algo)
+	}
+	if len(algo.Transfers) != 4*3 {
+		t.Fatalf("transfer count = %d, want 12", len(algo.Transfers))
+	}
+	if err := collective.Check(algo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Fig. 16 program must evaluate to a correct 32-GPU AllReduce.
+func TestCompileFig16HMAllReduce(t *testing.T) {
+	algo, err := Compile(hmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.NRanks != 32 || algo.Op != ir.OpAllReduce {
+		t.Fatalf("header mismatch: %+v", algo)
+	}
+	// 4 nodes × 8 GPUs: intra RS = 32·4·7, inter RS = 32·3, inter AG =
+	// 32·3, intra AG = 32·4·7.
+	want := 32*4*7 + 32*3 + 32*3 + 32*4*7
+	if len(algo.Transfers) != want {
+		t.Fatalf("transfer count = %d, want %d", len(algo.Transfers), want)
+	}
+	if err := collective.Check(algo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPythonModuloSemantics(t *testing.T) {
+	// (offset - step) % N with offset-step negative must wrap positive.
+	src := `
+def ResCCLAlgo(nRanks=4, OpType="Allgather"):
+    transfer(0, 1, 0, (0-1)%4, recv)
+    transfer(1, 2, 0, (1-2)%4, recv)
+`
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.Transfers[0].Chunk != 3 {
+		t.Errorf("(0-1)%%4 = %d, want 3", algo.Transfers[0].Chunk)
+	}
+}
+
+func TestFloorDivision(t *testing.T) {
+	if got := floorDiv(-7, 2); got != -4 {
+		t.Errorf("floorDiv(-7,2) = %d, want -4", got)
+	}
+	if got := floorDiv(7, 2); got != 3 {
+		t.Errorf("floorDiv(7,2) = %d, want 3", got)
+	}
+	if got := pyMod(-1, 4); got != 3 {
+		t.Errorf("pyMod(-1,4) = %d, want 3", got)
+	}
+	if got := pyMod(-8, 4); got != 0 {
+		t.Errorf("pyMod(-8,4) = %d, want 0", got)
+	}
+	if got := pyMod(5, -3); got != -1 {
+		t.Errorf("pyMod(5,-3) = %d, want -1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing def":    `transfer(0, 1, 0, 0, recv)`,
+		"wrong name":     "def Foo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n",
+		"bad comm type":  "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, bogus)\n",
+		"empty body":     "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n",
+		"unbalanced":     "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = (1 + 2\n",
+		"bad range":      "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    for i in range(0,1,2,3):\n        transfer(0, 1, 0, 0, recv)\n",
+		"string in expr": "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = \"hello\"\n",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := map[string]string{
+		"no nRanks":   "def ResCCLAlgo(OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n",
+		"no OpType":   "def ResCCLAlgo(nRanks=2):\n    transfer(0, 1, 0, 0, recv)\n",
+		"bad param":   "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\", wat=3):\n    transfer(0, 1, 0, 0, recv)\n",
+		"undef var":   "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, y, 0, 0, recv)\n",
+		"div by zero": "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1/0\n    transfer(0, 1, 0, 0, recv)\n",
+		"mod by zero": "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1%0, 0, 0, recv)\n",
+		"rank range":  "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 5, 0, 0, recv)\n",
+		"self send":   "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 0, 0, 0, recv)\n",
+		"zero step":   "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    for i in range(0, 4, 0):\n        transfer(0, 1, 0, 0, recv)\n",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestHeaderParamsVisibleInBody(t *testing.T) {
+	src := `
+def ResCCLAlgo(nRanks=4, OpType="Allgather", GPUPerNode=2):
+    for r in range(0, nRanks - 1):
+        transfer(r, r + 1, 0, r, recv)
+    x = GPUPerNode
+`
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.Transfers) != 3 {
+		t.Fatalf("transfers = %d, want 3", len(algo.Transfers))
+	}
+}
+
+func TestProgramStringRoundTrips(t *testing.T) {
+	prog, err := Parse(ringSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := prog.String()
+	prog2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered program failed: %v\nsource:\n%s", err, rendered)
+	}
+	a1, err := Eval(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Eval(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1.Transfers) != len(a2.Transfers) {
+		t.Fatalf("round trip changed transfer count: %d vs %d", len(a1.Transfers), len(a2.Transfers))
+	}
+	for i := range a1.Transfers {
+		if a1.Transfers[i] != a2.Transfers[i] {
+			t.Fatalf("round trip changed transfer %d: %v vs %v", i, a1.Transfers[i], a2.Transfers[i])
+		}
+	}
+}
+
+func TestImplicitLineJoining(t *testing.T) {
+	src := "def ResCCLAlgo(nRanks=2,\n               OpType=\"Allgather\"):\n    transfer(0, 1,\n             0, 0, recv)\n"
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.Transfers) != 1 {
+		t.Fatalf("transfers = %d, want 1", len(algo.Transfers))
+	}
+}
+
+func TestNegativeLiteralsAndPrecedence(t *testing.T) {
+	src := `
+def ResCCLAlgo(nRanks=8, OpType="Allgather"):
+    x = 2 + 3 * 2
+    y = (2 + 3) * 2 - x
+    transfer(x - 8, y - 1, 0, 0, recv)
+`
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := algo.Transfers[0]
+	if tr.Src != 0 || tr.Dst != 1 {
+		t.Fatalf("precedence broken: got %v", tr)
+	}
+}
+
+func TestLexerRejectsJunk(t *testing.T) {
+	if _, err := Lex("def ResCCLAlgo(nRanks=2) @"); err == nil {
+		t.Error("expected lex error for '@'")
+	}
+	if _, err := Lex(`x = "unterminated`); err == nil {
+		t.Error("expected lex error for unterminated string")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := strings.Join([]string{
+		"# leading comment",
+		"",
+		"def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):  # trailing",
+		"    # indented comment",
+		"",
+		"    transfer(0, 1, 0, 0, recv)  # another",
+		"",
+	}, "\n")
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algo.Transfers) != 1 {
+		t.Fatalf("transfers = %d, want 1", len(algo.Transfers))
+	}
+}
+
+func TestEmitRoundTrip(t *testing.T) {
+	orig, err := Compile(ringSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Emit(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Compile(src)
+	if err != nil {
+		t.Fatalf("re-compile of emitted source failed: %v\n%s", err, src)
+	}
+	if back.Name != orig.Name || back.Op != orig.Op || back.NRanks != orig.NRanks {
+		t.Fatalf("header changed: %+v vs %+v", back, orig)
+	}
+	a, b := orig.Sorted(), back.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("transfer count changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("transfer %d changed: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmitRejectsNonSquare(t *testing.T) {
+	algo := &ir.Algorithm{
+		Name: "x", Op: ir.OpAllGather, NRanks: 2, NChunks: 4,
+		Transfers: []ir.Transfer{{Src: 0, Dst: 1, Step: 0, Chunk: 0, Type: ir.CommRecv}},
+	}
+	if _, err := Emit(algo); err == nil {
+		t.Error("nChunks != nRanks must be rejected")
+	}
+	if _, err := Emit(&ir.Algorithm{Name: "bad", NRanks: 2, NChunks: 2}); err == nil {
+		t.Error("invalid algorithm must be rejected")
+	}
+}
+
+func TestAllToAllInDSL(t *testing.T) {
+	src := `
+def ResCCLAlgo(nRanks=2, AlgoName="A2A", OpType="Alltoall"):
+    transfer(0, 1, 0, 1, recv)
+    transfer(1, 0, 0, 2, recv)
+`
+	algo, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.NChunks != 4 {
+		t.Fatalf("AllToAll nChunks = %d, want 4", algo.NChunks)
+	}
+	if err := collective.Check(algo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    x = 1\n    transfer(0, 9, 0, 0, recv)\n"
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatal("expected range error")
+	}
+	var perr *Error
+	if !errorsAs(err, &perr) {
+		t.Fatalf("error %T lacks position info", err)
+	}
+	if perr.Line != 3 {
+		t.Errorf("error at line %d, want 3", perr.Line)
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

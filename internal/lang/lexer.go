@@ -1,0 +1,271 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenises ResCCLang source. It handles '#' comments, blank lines,
+// Python-style indentation (emitting Indent/Dedent tokens), and implicit
+// line joining inside parentheses (a newline inside an unclosed '(' does
+// not terminate the logical line, so long transfer(...) calls may wrap).
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1, indents: []int{0}}
+	for !lx.eof() {
+		if err := lx.lexLine(); err != nil {
+			return nil, err
+		}
+	}
+	// Close any dangling logical line and outstanding indents.
+	if lx.emittedAny && lx.tokens[len(lx.tokens)-1].Kind != TokNewline {
+		lx.emit(Token{Kind: TokNewline, Line: lx.line, Col: lx.col})
+	}
+	for len(lx.indents) > 1 {
+		lx.indents = lx.indents[:len(lx.indents)-1]
+		lx.emit(Token{Kind: TokDedent, Line: lx.line, Col: lx.col})
+	}
+	lx.emit(Token{Kind: TokEOF, Line: lx.line, Col: lx.col})
+	return lx.tokens, nil
+}
+
+type lexer struct {
+	src        string
+	pos        int
+	line, col  int
+	indents    []int
+	parenDepth int
+	tokens     []Token
+	emittedAny bool
+}
+
+func (lx *lexer) eof() bool { return lx.pos >= len(lx.src) }
+
+func (lx *lexer) peek() byte { return lx.src[lx.pos] }
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) emit(t Token) {
+	lx.tokens = append(lx.tokens, t)
+	lx.emittedAny = true
+}
+
+// lexLine processes one physical line starting at line start: measures
+// indentation, emits Indent/Dedent as needed, then tokens until newline.
+func (lx *lexer) lexLine() error {
+	// Measure indentation (spaces only; tabs count as 4).
+	indent := 0
+	for !lx.eof() {
+		switch lx.peek() {
+		case ' ':
+			indent++
+			lx.advance()
+			continue
+		case '\t':
+			indent += 4
+			lx.advance()
+			continue
+		}
+		break
+	}
+	if lx.eof() {
+		return nil
+	}
+	c := lx.peek()
+	if c == '\n' || c == '\r' || c == '#' {
+		// Blank line or comment-only line: skip entirely (no tokens).
+		lx.skipRestOfLine()
+		return nil
+	}
+	if lx.parenDepth == 0 {
+		if err := lx.applyIndent(indent); err != nil {
+			return err
+		}
+	}
+	return lx.lexTokens()
+}
+
+func (lx *lexer) skipRestOfLine() {
+	for !lx.eof() {
+		if lx.advance() == '\n' {
+			return
+		}
+	}
+}
+
+func (lx *lexer) applyIndent(indent int) error {
+	cur := lx.indents[len(lx.indents)-1]
+	switch {
+	case indent > cur:
+		lx.indents = append(lx.indents, indent)
+		lx.emit(Token{Kind: TokIndent, Line: lx.line, Col: lx.col})
+	case indent < cur:
+		for len(lx.indents) > 1 && lx.indents[len(lx.indents)-1] > indent {
+			lx.indents = lx.indents[:len(lx.indents)-1]
+			lx.emit(Token{Kind: TokDedent, Line: lx.line, Col: lx.col})
+		}
+		if lx.indents[len(lx.indents)-1] != indent {
+			return errf(lx.line, lx.col, "inconsistent indentation (%d spaces)", indent)
+		}
+	}
+	return nil
+}
+
+// lexTokens scans tokens until the end of the logical line.
+func (lx *lexer) lexTokens() error {
+	for !lx.eof() {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.advance()
+		case c == '\n':
+			lx.advance()
+			if lx.parenDepth > 0 {
+				// Implicit line joining: continue the logical line. The
+				// continuation line's indentation is insignificant.
+				lx.skipLeadingSpace()
+				continue
+			}
+			lx.emit(Token{Kind: TokNewline, Line: lx.line, Col: lx.col})
+			return nil
+		case c == '#':
+			lx.skipRestOfLine()
+			if lx.parenDepth > 0 {
+				continue
+			}
+			lx.emit(Token{Kind: TokNewline, Line: lx.line, Col: lx.col})
+			return nil
+		case isLetter(c):
+			lx.lexIdent()
+		case isDigit(c):
+			if err := lx.lexInt(); err != nil {
+				return err
+			}
+		case c == '"' || c == '\'':
+			if err := lx.lexString(c); err != nil {
+				return err
+			}
+		default:
+			if err := lx.lexPunct(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) skipLeadingSpace() {
+	for !lx.eof() {
+		c := lx.peek()
+		if c == ' ' || c == '\t' || c == '\r' {
+			lx.advance()
+			continue
+		}
+		return
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) lexIdent() {
+	line, col := lx.line, lx.col
+	var sb strings.Builder
+	for !lx.eof() && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+		sb.WriteByte(lx.advance())
+	}
+	text := sb.String()
+	kind := TokIdent
+	switch text {
+	case "def":
+		kind = TokDef
+	case "for":
+		kind = TokFor
+	case "in":
+		kind = TokIn
+	}
+	lx.emit(Token{Kind: kind, Text: text, Line: line, Col: col})
+}
+
+func (lx *lexer) lexInt() error {
+	line, col := lx.line, lx.col
+	var sb strings.Builder
+	for !lx.eof() && isDigit(lx.peek()) {
+		sb.WriteByte(lx.advance())
+	}
+	v, err := strconv.Atoi(sb.String())
+	if err != nil {
+		return errf(line, col, "invalid integer %q", sb.String())
+	}
+	lx.emit(Token{Kind: TokInt, Text: sb.String(), Int: v, Line: line, Col: col})
+	return nil
+}
+
+func (lx *lexer) lexString(quote byte) error {
+	line, col := lx.line, lx.col
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.eof() {
+			return errf(line, col, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return errf(line, col, "newline in string literal")
+		}
+		sb.WriteByte(c)
+	}
+	lx.emit(Token{Kind: TokString, Text: sb.String(), Line: line, Col: col})
+	return nil
+}
+
+func (lx *lexer) lexPunct() error {
+	line, col := lx.line, lx.col
+	c := lx.advance()
+	var kind TokenKind
+	switch c {
+	case '(':
+		kind = TokLParen
+		lx.parenDepth++
+	case ')':
+		kind = TokRParen
+		if lx.parenDepth > 0 {
+			lx.parenDepth--
+		}
+	case ',':
+		kind = TokComma
+	case ':':
+		kind = TokColon
+	case '=':
+		kind = TokAssign
+	case '+':
+		kind = TokPlus
+	case '-':
+		kind = TokMinus
+	case '*':
+		kind = TokStar
+	case '/':
+		kind = TokSlash
+	case '%':
+		kind = TokPercent
+	default:
+		return errf(line, col, "unexpected character %q", string(c))
+	}
+	lx.emit(Token{Kind: kind, Line: line, Col: col})
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package lang implements ResCCLang, the DSL of §4.2 / Appendix B:
+// lexing, parsing into an AST, and evaluation into an ir.Algorithm.
+//
+// ResCCLang is a deliberately small, Python-flavoured language: a single
+// `def ResCCLAlgo(<params>):` header followed by an indented body of
+// assignments, `for ... in range(...)` loops, and `transfer(...)` calls.
+// Algorithm designers (and synthesizers) express only the data-movement
+// logic; channel and thread-block management is the backend's job.
+package lang
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokIdent
+	TokInt
+	TokString
+	TokDef     // def
+	TokFor     // for
+	TokIn      // in
+	TokLParen  // (
+	TokRParen  // )
+	TokComma   // ,
+	TokColon   // :
+	TokAssign  // =
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "newline"
+	case TokIndent:
+		return "indent"
+	case TokDedent:
+		return "dedent"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokString:
+		return "string"
+	case TokDef:
+		return "'def'"
+	case TokFor:
+		return "'for'"
+	case TokIn:
+		return "'in'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	case TokAssign:
+		return "'='"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokStar:
+		return "'*'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	// Text is the literal text for identifiers, integers and strings
+	// (strings are unquoted).
+	Text string
+	// Int is the parsed value for TokInt.
+	Int  int
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a ResCCLang front-end error carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("resccclang:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

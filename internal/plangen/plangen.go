@@ -1,0 +1,178 @@
+// Package plangen generates random, valid collective algorithms for
+// property-based testing: arbitrary spanning-tree broadcast/reduction
+// structures with randomized shapes and step assignments. Every
+// generated plan satisfies its operator's postcondition by
+// construction, so the whole compilation and execution pipeline can be
+// fuzzed end to end against the data-plane oracle.
+package plangen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// RandomAllGather builds an AllGather in which every chunk reaches all
+// ranks over a random spanning tree rooted at its owner, with random
+// fan-out and randomized (but dependency-respecting) step numbering.
+func RandomAllGather(rng *rand.Rand, nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("plangen: need ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Random-AllGather",
+		Op:      ir.OpAllGather,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+	}
+	for c := 0; c < nRanks; c++ {
+		appendBroadcastTree(rng, a, ir.Rank(c), ir.ChunkID(c), 0, ir.CommRecv)
+	}
+	return a, a.Validate()
+}
+
+// RandomAllReduce builds an AllReduce in which every chunk is reduced
+// to its owner over a random in-tree (recvReduceCopy hops) and then
+// broadcast back over an independent random out-tree.
+func RandomAllReduce(rng *rand.Rand, nRanks int) (*ir.Algorithm, error) {
+	if nRanks < 2 {
+		return nil, fmt.Errorf("plangen: need ≥2 ranks, got %d", nRanks)
+	}
+	a := &ir.Algorithm{
+		Name:    "Random-AllReduce",
+		Op:      ir.OpAllReduce,
+		NRanks:  nRanks,
+		NChunks: nRanks,
+	}
+	for c := 0; c < nRanks; c++ {
+		depth := appendReduceTree(rng, a, ir.Rank(c), ir.ChunkID(c))
+		appendBroadcastTree(rng, a, ir.Rank(c), ir.ChunkID(c), depth, ir.CommRecv)
+	}
+	return a, a.Validate()
+}
+
+// appendBroadcastTree emits a random spanning out-tree of chunk c from
+// root: ranks join in random order, each receiving from a random
+// already-covered rank, one step after the parent's own receive. The
+// returned transfers respect dependencies because a parent's step is
+// always smaller than its children's.
+func appendBroadcastTree(rng *rand.Rand, a *ir.Algorithm, root ir.Rank, c ir.ChunkID, base ir.Step, ct ir.CommType) {
+	n := a.NRanks
+	order := rng.Perm(n)
+	covered := []ir.Rank{root}
+	// receivedAt[r] is the step at which r obtained the chunk.
+	receivedAt := map[ir.Rank]ir.Step{root: base - 1}
+	for _, ri := range order {
+		r := ir.Rank(ri)
+		if r == root {
+			continue
+		}
+		parent := covered[rng.Intn(len(covered))]
+		step := receivedAt[parent] + 1 + ir.Step(rng.Intn(2))
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: parent, Dst: r, Step: step, Chunk: c, Type: ct,
+		})
+		receivedAt[r] = step
+		covered = append(covered, r)
+	}
+}
+
+// appendReduceTree emits a random in-tree reducing chunk c into root:
+// every non-root rank eventually forwards its partial to a rank closer
+// to the root. Children send before their parent forwards, and multiple
+// children of one parent use distinct steps (ordered writes). Returns a
+// step bound past the whole reduction for chaining a broadcast phase.
+func appendReduceTree(rng *rand.Rand, a *ir.Algorithm, root ir.Rank, c ir.ChunkID) ir.Step {
+	n := a.NRanks
+	// Random parent assignment forming an in-tree: process ranks in a
+	// random order; each picks a parent among ranks processed later or
+	// the root, guaranteeing acyclicity (parent is "closer" by order).
+	order := rng.Perm(n)
+	pos := make([]int, n) // position in order; root treated as deepest
+	for i, r := range order {
+		pos[r] = i
+	}
+	parent := make([]ir.Rank, n)
+	for _, ri := range order {
+		r := ir.Rank(ri)
+		if r == root {
+			continue
+		}
+		// Candidates: root or any rank with a strictly larger position.
+		cands := []ir.Rank{root}
+		for q := 0; q < n; q++ {
+			if ir.Rank(q) != root && pos[q] > pos[ri] {
+				cands = append(cands, ir.Rank(q))
+			}
+		}
+		parent[ri] = cands[rng.Intn(len(cands))]
+	}
+	// children lists.
+	children := make(map[ir.Rank][]ir.Rank)
+	for q := 0; q < n; q++ {
+		if ir.Rank(q) == root {
+			continue
+		}
+		children[parent[q]] = append(children[parent[q]], ir.Rank(q))
+	}
+	// sendStep[r]: when r forwards its partial — after all its children
+	// arrived, with distinct steps among siblings.
+	var assign func(r ir.Rank) ir.Step // returns the step after which r's partial is complete
+	assign = func(r ir.Rank) ir.Step {
+		ready := ir.Step(0)
+		for _, ch := range children[r] {
+			done := assign(ch)
+			// The child sends at `done`; r is complete strictly after.
+			if done+1 > ready {
+				ready = done + 1
+			}
+		}
+		// Distinct steps per sibling write are fixed up by the caller;
+		// here return when r could send.
+		return ready
+	}
+	// Emit sends bottom-up with per-parent step deduplication.
+	var emit func(r ir.Rank) ir.Step
+	usedSteps := make(map[[2]int]map[ir.Step]bool) // (dst, chunk) -> steps taken
+	emit = func(r ir.Rank) ir.Step {
+		ready := ir.Step(0)
+		for _, ch := range children[r] {
+			childSend := emit(ch)
+			if childSend+1 > ready {
+				ready = childSend + 1
+			}
+		}
+		if r == root {
+			return ready
+		}
+		p := parent[r]
+		key := [2]int{int(p), int(c)}
+		taken := usedSteps[key]
+		if taken == nil {
+			taken = make(map[ir.Step]bool)
+			usedSteps[key] = taken
+		}
+		step := ready
+		for taken[step] {
+			step++
+		}
+		taken[step] = true
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: r, Dst: p, Step: step, Chunk: c, Type: ir.CommRecvReduceCopy,
+		})
+		return step
+	}
+	_ = assign
+	rootReady := emit(root)
+	// The broadcast phase must start after every reduction write into
+	// any rank on the path — conservatively after the largest step used
+	// for this chunk plus one.
+	maxStep := rootReady
+	for _, t := range a.Transfers {
+		if t.Chunk == c && t.Step >= maxStep {
+			maxStep = t.Step + 1
+		}
+	}
+	return maxStep
+}

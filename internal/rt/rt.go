@@ -1,0 +1,319 @@
+// Package rt is the concurrent data-plane runtime: it executes a
+// compiled kernel with one goroutine per thread block, moving real
+// values between rank buffers through rendezvous channels, with
+// cross-TB semaphores enforcing data dependencies (the device-memory
+// flags MSCCL-style runtimes use) and the per-micro-batch barrier of
+// lazy execution.
+//
+// The runtime complements the timing simulator: where sim predicts
+// performance from the cost model, rt proves the plan is deadlock-free
+// under real concurrency and that executing it yields the collective's
+// correct result. Both consume the same kernel.Kernel.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+)
+
+// DefaultWatchdog is how long the executor waits without any instance
+// completing before declaring a deadlock.
+const DefaultWatchdog = 10 * time.Second
+
+// Config parameterises one execution.
+type Config struct {
+	Kernel *kernel.Kernel
+	// MicroBatches is the number of micro-batch invocations per task (n
+	// of §3). Every micro-batch is an independent slice of the payload
+	// with its own buffer state; running n > 1 exercises the pipelining
+	// and ordering machinery.
+	MicroBatches int
+	// Watchdog overrides the deadlock timeout (default DefaultWatchdog).
+	Watchdog time.Duration
+}
+
+// Result reports one execution.
+type Result struct {
+	// States holds the final data plane of every micro-batch, each
+	// ready for collective.Verify.
+	States []*collective.State
+	// Instances is the number of task invocations executed.
+	Instances int
+	// Elapsed is wall time (host time, not simulated time).
+	Elapsed time.Duration
+}
+
+// Verify checks every micro-batch's final state against the operator's
+// postcondition.
+func (r *Result) Verify() error {
+	for i, st := range r.States {
+		if err := collective.Verify(st); err != nil {
+			return fmt.Errorf("rt: micro-batch %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Execute runs the kernel to completion and returns the final buffers.
+// It returns an error if the watchdog fires (a deadlocked or livelocked
+// plan) or the configuration is invalid.
+func Execute(cfg Config) (*Result, error) {
+	if cfg.Kernel == nil {
+		return nil, fmt.Errorf("rt: nil kernel")
+	}
+	n := cfg.MicroBatches
+	if n < 1 {
+		n = 1
+	}
+	watchdog := cfg.Watchdog
+	if watchdog <= 0 {
+		watchdog = DefaultWatchdog
+	}
+	ex := newExecutor(cfg.Kernel, n)
+	start := time.Now()
+	if err := ex.run(watchdog); err != nil {
+		return nil, err
+	}
+	return &Result{
+		States:    ex.states,
+		Instances: int(ex.completed.Load()),
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+type executor struct {
+	k   *kernel.Kernel
+	n   int
+	alg *ir.Algorithm
+
+	// states holds one independent data plane per micro-batch.
+	states []*collective.State
+	// bufMu serialises buffer access per rank. A single mutex per rank
+	// keeps it simple; contention is irrelevant for correctness testing.
+	bufMu []sync.Mutex
+
+	// rendezvous[t] carries the sender's chunk snapshot to the receiver
+	// for each invocation of task t.
+	rendezvous []chan []int64
+	// done[t][i] is closed when invocation (t, i) completes — the
+	// cross-TB semaphore dependents and link successors wait on.
+	done [][]chan struct{}
+
+	// barrier state for MBBarrier kernels.
+	barrier *mbBarrier
+
+	completed atomic.Int64
+	errOnce   sync.Once
+	err       error
+	abort     chan struct{}
+}
+
+func newExecutor(k *kernel.Kernel, n int) *executor {
+	alg := k.Graph.Algo
+	ex := &executor{
+		k:          k,
+		n:          n,
+		alg:        alg,
+		states:     make([]*collective.State, n),
+		bufMu:      make([]sync.Mutex, alg.NRanks),
+		rendezvous: make([]chan []int64, len(k.Graph.Tasks)),
+		done:       make([][]chan struct{}, len(k.Graph.Tasks)),
+		abort:      make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		ex.states[i] = collective.NewState(alg.Op, alg.NRanks, alg.NChunks)
+	}
+	for t := range ex.rendezvous {
+		ex.rendezvous[t] = make(chan []int64)
+		ex.done[t] = make([]chan struct{}, n)
+		for i := range ex.done[t] {
+			ex.done[t][i] = make(chan struct{})
+		}
+	}
+	if k.MBBarrier {
+		ex.barrier = newMBBarrier(len(k.Graph.Tasks), n)
+	}
+	return ex
+}
+
+// fail records the first error and aborts every thread block.
+func (ex *executor) fail(err error) {
+	ex.errOnce.Do(func() {
+		ex.err = err
+		close(ex.abort)
+	})
+}
+
+func (ex *executor) run(watchdog time.Duration) error {
+	var wg sync.WaitGroup
+	for _, tb := range ex.k.TBs {
+		wg.Add(1)
+		go func(tb *kernel.TBProgram) {
+			defer wg.Done()
+			ex.runTB(tb)
+		}(tb)
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+
+	timer := time.NewTimer(watchdog)
+	defer timer.Stop()
+	last := int64(0)
+	for {
+		select {
+		case <-finished:
+			return ex.err
+		case <-timer.C:
+			cur := ex.completed.Load()
+			if cur == last {
+				ex.fail(fmt.Errorf("rt: no progress for %v after %d instances — kernel %q deadlocked",
+					watchdog, cur, ex.k.Name))
+				<-finished
+				return ex.err
+			}
+			last = cur
+			timer.Reset(watchdog)
+		}
+	}
+}
+
+// runTB executes one thread block's instruction stream.
+func (ex *executor) runTB(tb *kernel.TBProgram) {
+	total := tb.NInstr(ex.n)
+	for k := 0; k < total; k++ {
+		slot, mb := tb.Instr(k, ex.n)
+		prim := tb.Slots[slot]
+		if !ex.execInstr(prim, mb) {
+			return // aborted
+		}
+	}
+}
+
+// execInstr runs one primitive invocation; returns false on abort.
+func (ex *executor) execInstr(prim ir.Primitive, mb int) bool {
+	t := prim.Task.ID
+	// Gate on the per-micro-batch barrier (lazy execution).
+	if ex.barrier != nil && !ex.barrier.await(mb, ex.abort) {
+		return false
+	}
+	// Cross-TB semaphores: data dependencies for this micro-batch, and
+	// (ResCCL kernels) full drain of the link-window predecessors.
+	g := ex.k.Graph
+	for _, d := range g.Deps[t] {
+		if !ex.await(ex.done[d][mb]) {
+			return false
+		}
+	}
+	for _, p := range ex.k.LinkPreds[t] {
+		if !ex.await(ex.done[p][ex.n-1]) {
+			return false
+		}
+	}
+
+	switch prim.Kind {
+	case ir.PrimSend:
+		// Snapshot under the source rank's lock so concurrent writes to
+		// other chunks of this rank cannot tear the read.
+		ex.bufMu[prim.Rank].Lock()
+		data := append([]int64(nil), ex.states[mb].Chunk(prim.Rank, prim.Task.Chunk)...)
+		ex.bufMu[prim.Rank].Unlock()
+		select {
+		case ex.rendezvous[t] <- data:
+			return true
+		case <-ex.abort:
+			return false
+		}
+	case ir.PrimRecv, ir.PrimRecvReduceCopy:
+		var data []int64
+		select {
+		case data = <-ex.rendezvous[t]:
+		case <-ex.abort:
+			return false
+		}
+		ex.bufMu[prim.Rank].Lock()
+		dst := ex.states[mb].Chunk(prim.Rank, prim.Task.Chunk)
+		if prim.Kind == ir.PrimRecv {
+			copy(dst, data)
+		} else {
+			for e := range dst {
+				dst[e] += data[e]
+			}
+		}
+		ex.bufMu[prim.Rank].Unlock()
+		// The receive side completes the invocation: signal semaphores
+		// and the barrier.
+		close(ex.done[t][mb])
+		ex.completed.Add(1)
+		if ex.barrier != nil {
+			ex.barrier.arrive(mb)
+		}
+		return true
+	default:
+		ex.fail(fmt.Errorf("rt: unknown primitive kind %v", prim.Kind))
+		return false
+	}
+}
+
+// await blocks on a semaphore or the abort signal.
+func (ex *executor) await(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	case <-ex.abort:
+		return false
+	}
+}
+
+// mbBarrier lets no invocation of micro-batch i start before every task
+// has completed micro-batch i−1 — the lazy algorithm-level launch
+// boundary.
+type mbBarrier struct {
+	nTasks int
+	mu     sync.Mutex
+	// remaining[i] counts unfinished tasks of micro-batch i; released[i]
+	// is closed when micro-batch i may start.
+	remaining []int
+	released  []chan struct{}
+}
+
+func newMBBarrier(nTasks, n int) *mbBarrier {
+	b := &mbBarrier{nTasks: nTasks}
+	b.remaining = make([]int, n)
+	b.released = make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		b.remaining[i] = nTasks
+		b.released[i] = make(chan struct{})
+	}
+	close(b.released[0]) // the first micro-batch starts immediately
+	return b
+}
+
+// await blocks until micro-batch mb is released (or abort).
+func (b *mbBarrier) await(mb int, abort chan struct{}) bool {
+	select {
+	case <-b.released[mb]:
+		return true
+	case <-abort:
+		return false
+	}
+}
+
+// arrive records one completed task invocation of micro-batch mb and
+// releases mb+1 when it was the last.
+func (b *mbBarrier) arrive(mb int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.remaining[mb]--
+	if b.remaining[mb] == 0 && mb+1 < len(b.released) {
+		close(b.released[mb+1])
+	}
+}

@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/synth"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+func buildGraph(t *testing.T, algo *ir.Algorithm, nNodes, gpn int) *dag.Graph {
+	t.Helper()
+	g, err := dag.Build(algo, topo.New(nNodes, gpn, topo.A100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func allAlgos(t *testing.T) map[string]*dag.Graph {
+	t.Helper()
+	out := map[string]*dag.Graph{}
+	add := func(name string, a *ir.Algorithm, err error, nNodes, gpn int) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = buildGraph(t, a, nNodes, gpn)
+	}
+	a1, e1 := expert.RingAllGather(8)
+	add("ring-ag", a1, e1, 1, 8)
+	a2, e2 := expert.HMAllReduce(2, 4)
+	add("hm-ar", a2, e2, 2, 4)
+	a3, e3 := expert.HMAllGather(2, 8)
+	add("hm-ag", a3, e3, 2, 8)
+	a4, e4 := synth.TACCLAllGather(2, 4)
+	add("taccl-ag", a4, e4, 2, 4)
+	a5, e5 := synth.TECCLAllReduce(4, 4)
+	add("teccl-ar", a5, e5, 4, 4)
+	a6, e6 := expert.TreeAllReduce(8)
+	add("tree-ar", a6, e6, 1, 8)
+	return out
+}
+
+// Every policy must produce a valid pipeline (each task once, link
+// disjointness within sub-pipelines, deps before dependents) on every
+// algorithm family.
+func TestAllPoliciesValid(t *testing.T) {
+	graphs := allAlgos(t)
+	for name, g := range graphs {
+		for _, pol := range []Policy{PolicyHPDS, PolicyRR, PolicySequential} {
+			p, err := Schedule(g, pol)
+			if err != nil {
+				t.Errorf("%s/%v: %v", name, pol, err)
+				continue
+			}
+			if err := Validate(g, p); err != nil {
+				t.Errorf("%s/%v: %v", name, pol, err)
+			}
+		}
+	}
+}
+
+// HPDS must produce at most as many sub-pipelines as the sequential
+// chunk-major policy (it interleaves chunks, never worse than draining
+// one chunk at a time).
+func TestHPDSNotWorseThanSequential(t *testing.T) {
+	for name, g := range allAlgos(t) {
+		hp, err := Schedule(g, PolicyHPDS)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seq, err := Schedule(g, PolicySequential)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hp.NSubs() > seq.NSubs() {
+			t.Errorf("%s: HPDS %d sub-pipelines > sequential %d", name, hp.NSubs(), seq.NSubs())
+		}
+	}
+}
+
+// For ring AllGather on one node, every pair link carries n−1 tasks and
+// may hold `window` of them concurrently, so HPDS needs exactly
+// ⌈(n−1)/window⌉ sub-pipelines.
+func TestHPDSRingSubPipelineCount(t *testing.T) {
+	a, err := expert.RingAllGather(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := buildGraph(t, a, 1, 8)
+	window := 0
+	for _, w := range g.LinkWindows {
+		window = w
+		break
+	}
+	if window < 1 {
+		t.Fatalf("bad link window %d", window)
+	}
+	p, err := Schedule(g, PolicyHPDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (7 + window - 1) / window
+	if p.NSubs() != want {
+		t.Errorf("ring-8 HPDS sub-pipelines = %d, want %d (window %d)", p.NSubs(), want, window)
+	}
+}
+
+func TestOrderedTasksIsPermutation(t *testing.T) {
+	g := allAlgos(t)["hm-ar"]
+	p, err := Schedule(g, PolicyHPDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NTasks())
+	for _, id := range p.OrderedTasks() {
+		if seen[id] {
+			t.Fatalf("task %d appears twice", id)
+		}
+		seen[id] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("task %d missing", i)
+		}
+	}
+}
+
+// Property: random ring sizes and topology splits always schedule
+// validly under HPDS, and the schedule is deterministic.
+func TestPropertyHPDSValidDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNodes := 1 + rng.Intn(3)
+		gpn := 2 + rng.Intn(4)
+		if nNodes == 1 && gpn < 2 {
+			return true
+		}
+		var a *ir.Algorithm
+		var err error
+		if nNodes > 1 {
+			a, err = expert.HMAllGather(nNodes, gpn)
+		} else {
+			a, err = expert.RingAllReduce(gpn)
+		}
+		if err != nil {
+			return false
+		}
+		g, err := dag.Build(a, topo.New(nNodes, gpn, topo.A100()))
+		if err != nil {
+			return false
+		}
+		p1, err := Schedule(g, PolicyHPDS)
+		if err != nil {
+			return false
+		}
+		p2, err := Schedule(g, PolicyHPDS)
+		if err != nil {
+			return false
+		}
+		if p1.NSubs() != p2.NSubs() {
+			return false
+		}
+		for i := range p1.TaskPos {
+			if p1.TaskPos[i] != p2.TaskPos[i] {
+				return false
+			}
+		}
+		return Validate(g, p1) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	g := allAlgos(t)["ring-ag"]
+	if _, err := Schedule(g, Policy(99)); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+// HPDS's priority mechanism (Algorithm 1): chunks whose tasks sit on
+// lightly loaded links get scheduled ahead of chunks on a hot link. We
+// build a plan where chunk 0 rides a congested link (many tasks) and
+// chunk 1 rides an idle one; chunk 1's task must land in the first
+// sub-pipeline even though chunk 0 has lower ID.
+func TestHPDSPrefersUnderutilizedChunks(t *testing.T) {
+	a := &ir.Algorithm{
+		Name: "hotcold", Op: ir.OpAllReduce, NRanks: 4, NChunks: 4,
+	}
+	// Hot link 0→1: three sequential tasks of chunk 0 plus chunks 2,3.
+	a.Transfers = append(a.Transfers,
+		ir.Transfer{Src: 0, Dst: 1, Step: 0, Chunk: 0, Type: ir.CommRecvReduceCopy},
+		ir.Transfer{Src: 0, Dst: 1, Step: 1, Chunk: 2, Type: ir.CommRecvReduceCopy},
+		ir.Transfer{Src: 0, Dst: 1, Step: 2, Chunk: 3, Type: ir.CommRecvReduceCopy},
+		// Cold link 2→3: single task of chunk 1.
+		ir.Transfer{Src: 2, Dst: 3, Step: 0, Chunk: 1, Type: ir.CommRecvReduceCopy},
+	)
+	g, err := dag.Build(a, topo.New(1, 4, topo.A100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Schedule(g, PolicyHPDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find chunk 1's task and assert it is in sub-pipeline 0.
+	for i, task := range g.Tasks {
+		if task.Chunk == 1 {
+			if p.TaskSub[i] != 0 {
+				t.Errorf("cold-link chunk 1 scheduled in sub %d, want 0", p.TaskSub[i])
+			}
+			// And it should be scheduled before the hot chunks at equal
+			// readiness (highest priority = lowest link load).
+			if p.TaskPos[i] != 0 {
+				t.Errorf("cold-link chunk scheduled at position %d, want 0", p.TaskPos[i])
+			}
+		}
+	}
+}

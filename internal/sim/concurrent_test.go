@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+func compile(t *testing.T, algo *ir.Algorithm, tp *topo.Topology) *kernelPlan {
+	t.Helper()
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &kernelPlan{plan}
+}
+
+type kernelPlan struct{ plan *backend.Plan }
+
+// Two identical collectives sharing the fabric must each take longer
+// than one running alone, and the multi-result must be consistent.
+func TestConcurrentSessionsContend(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	algo, err := expert.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := compile(t, algo, tp)
+	alone, err := Run(Config{Topo: tp, Kernel: p.plan.Kernel, BufferBytes: 128 << 20, ChunkBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := Session{Kernel: p.plan.Kernel, BufferBytes: 128 << 20, ChunkBytes: 1 << 20}
+	mr, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: []Session{ses, ses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(mr.Sessions))
+	}
+	for i, r := range mr.Sessions {
+		if r.Completion <= alone.Completion {
+			t.Errorf("session %d (%g) not slower than solo run (%g) despite sharing the fabric",
+				i, r.Completion, alone.Completion)
+		}
+		if r.Completion > mr.Completion+1e-12 {
+			t.Errorf("session %d finishes after the global completion", i)
+		}
+		if r.Instances != alone.Instances {
+			t.Errorf("session %d executed %d instances, want %d", i, r.Instances, alone.Instances)
+		}
+	}
+	// Shared fabric: slowdown is bounded by halved bandwidth (2×) times
+	// the saturated Eq. 1 penalty (1.6×).
+	for i, r := range mr.Sessions {
+		sd := r.Completion / alone.Completion
+		if sd < 1.5 || sd > 3.3 {
+			t.Errorf("session %d slowdown %.2fx outside the plausible [1.5, 3.3] band", i, sd)
+		}
+	}
+}
+
+// Sessions on disjoint resources (two different intra-node meshes on
+// different nodes, embedded into the full cluster) must not slow each
+// other down.
+func TestConcurrentDisjointSessions(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	mesh, err := expert.MeshAllReduce(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := ir.Embed(mesh, []ir.Rank{0, 1, 2, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := ir.Embed(mesh, []ir.Rank{4, 5, 6, 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := compile(t, g0, tp)
+	p1 := compile(t, g1, tp)
+	solo, err := Run(Config{Topo: tp, Kernel: p0.plan.Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: []Session{
+		{Kernel: p0.plan.Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20},
+		{Kernel: p1.plan.Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range mr.Sessions {
+		if diff := r.Completion - solo.Completion; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("disjoint session %d completion %g differs from solo %g", i, r.Completion, solo.Completion)
+		}
+	}
+}
+
+// Embedded process groups: four cross-node DP rings (one per local
+// index) sharing the NICs must each run slower than a single ring
+// alone, and the run must stay deterministic.
+func TestConcurrentEmbeddedGroups(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	ring, err := expert.RingAllReduce(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sessions []Session
+	for l := 0; l < 4; l++ {
+		grp, err := ir.Embed(ring, []ir.Rank{ir.Rank(l), ir.Rank(4 + l)}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := compile(t, grp, tp)
+		sessions = append(sessions, Session{Kernel: p.plan.Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20})
+	}
+	solo, err := Run(Config{Topo: tp, Kernel: sessions[0].Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Completion != m2.Completion {
+		t.Error("concurrent run nondeterministic")
+	}
+	// Groups at locals 0,1 share NIC 0; 2,3 share NIC 1 — contention
+	// must slow them relative to solo.
+	slower := 0
+	for _, r := range m1.Sessions {
+		if r.Completion > solo.Completion*1.05 {
+			slower++
+		}
+	}
+	if slower < 2 {
+		t.Errorf("expected NIC contention to slow ≥2 of 4 DP groups, got %d (solo %g, multi %v)",
+			slower, solo.Completion, []float64{m1.Sessions[0].Completion, m1.Sessions[1].Completion, m1.Sessions[2].Completion, m1.Sessions[3].Completion})
+	}
+}
+
+func TestRunConcurrentValidation(t *testing.T) {
+	tp := topo.New(1, 2, topo.A100())
+	if _, err := RunConcurrent(MultiConfig{Topo: tp}); err == nil {
+		t.Error("no sessions should fail")
+	}
+	if _, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: []Session{{}}}); err == nil {
+		t.Error("nil kernel should fail")
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// BenchmarkLargeAllReduce exercises the simulator's hot path: a 32-rank
+// HM AllReduce of 1 GiB on the MSCCL backend (heaviest contention).
+func BenchmarkLargeAllReduce(b *testing.B) {
+	tp := topo.New(4, 8, topo.A100())
+	algo, err := expert.HMAllReduce(4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := backend.NewMSCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: 1 << 30, ChunkBytes: 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// TestProbeBandwidthTable prints the backend comparison table; run with
+// -v to inspect model calibration.
+func TestProbeBandwidthTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	tp := topo.New(2, 8, topo.A100())
+	algoAG, _ := expert.HMAllGather(2, 8)
+	algoAR, _ := expert.HMAllReduce(2, 8)
+	bufs := []int64{8 << 20, 128 << 20, 1 << 30}
+	bks := []backend.Backend{backend.NewNCCL(), backend.NewMSCCL(), backend.NewResCCL()}
+	for _, pair := range []struct {
+		name string
+		algo *ir.Algorithm
+	}{{"HM-AG", algoAG}, {"HM-AR", algoAR}} {
+		t.Logf("== %s 2x8 A100, algbw GB/s", pair.name)
+		plans := map[string]*backend.Plan{}
+		for _, b := range bks {
+			p, err := b.Compile(backend.Request{Algo: pair.algo, Topo: tp})
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			plans[b.Name()] = p
+		}
+		t.Logf("%-8s %10s %10s %10s", "bufMB", "NCCL", "MSCCL", "ResCCL")
+		for _, buf := range bufs {
+			row := fmt.Sprintf("%-8d", buf>>20)
+			for _, n := range []string{"NCCL", "MSCCL", "ResCCL"} {
+				res, err := Run(Config{Topo: tp, Kernel: plans[n].Kernel, BufferBytes: buf, ChunkBytes: 1 << 20})
+				if err != nil {
+					t.Fatalf("%s buf %d: %v", n, buf, err)
+				}
+				row += fmt.Sprintf(" %10.1f", res.AlgoBW/1e9)
+			}
+			t.Log(row)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Rate computation: flows share resources max-min (progressive filling)
+// subject to two constraints from the paper's cost model:
+//
+//   - each flow's rate is capped by the driving thread block's
+//     capability (TBCap);
+//   - a serializing link whose aggregate demanded capability exceeds its
+//     bandwidth by factor z suffers the Eq. 1 contention penalty: its
+//     effective capacity is divided by 1 + γ·L(z), L(z) = min(z−1, 1)².
+//
+// Rates are recomputed only for the connected component of flows reached
+// through shared resources, so the cost of a flow arrival/departure is
+// proportional to the local contention, not the cluster size. All
+// scratch state lives in the sim and is generation-stamped instead of
+// cleared, keeping the hot path allocation-free.
+
+type rateScratch struct {
+	gen int32
+	// Per-task component membership and index.
+	flowGen []int32
+	flowIdx []int32
+	// Per-resource component membership.
+	resGen []int32
+	// Component working sets (reused).
+	flows     []gid
+	resources []topo.ResourceID
+	queue     []topo.ResourceID
+	rates     []float64
+	frozen    []bool
+	effCap    []float64
+}
+
+func (rs *rateScratch) init(nTasks, nResources int) {
+	rs.flowGen = make([]int32, nTasks)
+	rs.flowIdx = make([]int32, nTasks)
+	rs.resGen = make([]int32, nResources)
+}
+
+// recomputeComponent recomputes rates for the component containing task
+// t's flow.
+func (s *sim) recomputeComponent(t gid) {
+	s.recomputeAround(s.tasks[t].resources)
+}
+
+// recomputeAround recomputes rates for all flows transitively sharing
+// resources with the given seed set.
+func (s *sim) recomputeAround(seed []topo.ResourceID) {
+	rs := &s.scratch
+	rs.gen++
+	rs.flows = rs.flows[:0]
+	rs.resources = rs.resources[:0]
+	rs.queue = rs.queue[:0]
+
+	for _, r := range seed {
+		if rs.resGen[r] != rs.gen {
+			rs.resGen[r] = rs.gen
+			rs.queue = append(rs.queue, r)
+		}
+	}
+	for len(rs.queue) > 0 {
+		r := rs.queue[len(rs.queue)-1]
+		rs.queue = rs.queue[:len(rs.queue)-1]
+		rs.resources = append(rs.resources, r)
+		for _, f := range s.resFlows[r] {
+			if rs.flowGen[f] == rs.gen {
+				continue
+			}
+			rs.flowGen[f] = rs.gen
+			rs.flowIdx[f] = int32(len(rs.flows))
+			rs.flows = append(rs.flows, f)
+			for _, fr := range s.tasks[f].resources {
+				if rs.resGen[fr] != rs.gen {
+					rs.resGen[fr] = rs.gen
+					rs.queue = append(rs.queue, fr)
+				}
+			}
+		}
+	}
+	if len(rs.flows) == 0 {
+		return
+	}
+	// Charge elapsed bytes at the old rates before changing anything.
+	for _, f := range rs.flows {
+		s.advanceFlow(f)
+	}
+	s.maxMin()
+	for i, f := range rs.flows {
+		ts := &s.tasks[f]
+		if !nearlyEqual(ts.rate, rs.rates[i]) || ts.rate == 0 {
+			ts.rate = rs.rates[i]
+			s.scheduleDataDone(f)
+		}
+	}
+}
+
+func nearlyEqual(a, b float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	return diff <= 1e-9*scale
+}
+
+// maxMin runs progressive filling over the scratch component, leaving
+// the per-flow rates in s.scratch.rates (parallel to s.scratch.flows).
+func (s *sim) maxMin() {
+	rs := &s.scratch
+	nf := len(rs.flows)
+	rs.rates = resize(rs.rates, nf)
+	rs.frozen = resizeBool(rs.frozen, nf)
+	rs.effCap = resize(rs.effCap, len(rs.resources))
+
+	// Effective capacities with the Eq. 1 contention penalty. A single
+	// over-capable TB simply runs at link rate; contention needs ≥2
+	// flows.
+	for i, r := range rs.resources {
+		c := s.topo.Capacity(r)
+		if s.congestion != nil && s.congestion[r] > 0 {
+			c *= 1 - s.congestion[r]
+		}
+		if s.topo.Kind(r) == topo.KindSerialLink && len(s.resFlows[r]) > 1 {
+			demand := 0.0
+			for _, f := range s.resFlows[r] {
+				demand += s.tasks[f].cap
+			}
+			if z := demand / c; z > 1 {
+				over := z - 1
+				if over > 1 {
+					over = 1
+				}
+				c /= 1 + s.topo.Gamma*over*over
+			}
+		}
+		rs.effCap[i] = c
+	}
+
+	unfrozen := nf
+	rho := 0.0
+	const inf = 1e300
+
+	for unfrozen > 0 {
+		// Next saturation level across resources and flow caps.
+		next := inf
+		for i, r := range rs.resources {
+			frozenLoad := 0.0
+			n := 0
+			for _, f := range s.resFlows[r] {
+				fi := rs.flowIdx[f]
+				if rs.frozen[fi] {
+					frozenLoad += rs.rates[fi]
+				} else {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if sat := (rs.effCap[i] - frozenLoad) / float64(n); sat < next {
+				next = sat
+			}
+		}
+		for i, f := range rs.flows {
+			if !rs.frozen[i] && s.tasks[f].cap < next {
+				next = s.tasks[f].cap
+			}
+		}
+		if next >= inf {
+			for i, f := range rs.flows {
+				if !rs.frozen[i] {
+					rs.rates[i] = s.tasks[f].cap
+					rs.frozen[i] = true
+					unfrozen--
+				}
+			}
+			break
+		}
+		if next < rho {
+			next = rho
+		}
+		rho = next
+		progress := false
+		// Freeze flows capped at rho.
+		for i, f := range rs.flows {
+			if !rs.frozen[i] && s.tasks[f].cap <= rho*(1+1e-12) {
+				rs.rates[i] = s.tasks[f].cap
+				rs.frozen[i] = true
+				unfrozen--
+				progress = true
+			}
+		}
+		// Freeze flows on saturated resources.
+		for i, r := range rs.resources {
+			frozenLoad := 0.0
+			n := 0
+			for _, f := range s.resFlows[r] {
+				fi := rs.flowIdx[f]
+				if rs.frozen[fi] {
+					frozenLoad += rs.rates[fi]
+				} else {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if frozenLoad+float64(n)*rho >= rs.effCap[i]*(1-1e-12) {
+				for _, f := range s.resFlows[r] {
+					fi := rs.flowIdx[f]
+					if !rs.frozen[fi] {
+						rs.rates[fi] = rho
+						rs.frozen[fi] = true
+						unfrozen--
+						progress = true
+					}
+				}
+			}
+		}
+		if !progress {
+			// Numerical corner: freeze everything at rho to terminate.
+			for i := range rs.flows {
+				if !rs.frozen[i] {
+					rs.rates[i] = rho
+					rs.frozen[i] = true
+					unfrozen--
+				}
+			}
+		}
+	}
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func resizeBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}

@@ -1,0 +1,729 @@
+// Package sim is the flow-level discrete-event simulator that stands in
+// for the GPU cluster: thread blocks are serial actors executing kernel
+// programs, chunk transfers are flows that share link bandwidth max-min
+// with the paper's Eq. 1 contention penalty, and all the ordering
+// semantics of the three execution strategies (§3) emerge from the
+// kernel's slot order, data dependencies and link predecessors.
+//
+// Several kernels can run concurrently as independent sessions sharing
+// the fabric (RunConcurrent) — the substrate for simulating
+// data-parallel process groups and multi-tenant contention.
+//
+// The simulator is deterministic: identical inputs produce identical
+// timings, which the experiment harness and golden tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Config parameterises a single-kernel simulation run.
+type Config struct {
+	Topo   *topo.Topology
+	Kernel *kernel.Kernel
+	// BufferBytes is the per-rank payload S the collective synchronises.
+	BufferBytes int64
+	// ChunkBytes is the target transfer chunk size (the paper fixes
+	// 1 MiB). The effective chunk shrinks for small buffers so at least
+	// one micro-batch exists.
+	ChunkBytes int64
+	// Congestion maps links to the fraction of their capacity consumed
+	// by background traffic from other jobs (§4.4's network-contention
+	// scenario). A congested link both loses capacity and reaches its
+	// Eq. 1 contention regime sooner.
+	Congestion map[topo.ResourceID]float64
+	// RecordTimeline captures per-TB busy segments for Gantt rendering
+	// (trace.RenderTimeline). Off by default: large runs produce many
+	// segments.
+	RecordTimeline bool
+}
+
+// Session is one kernel participating in a concurrent run.
+type Session struct {
+	Kernel      *kernel.Kernel
+	BufferBytes int64
+	ChunkBytes  int64
+}
+
+// MultiConfig parameterises a concurrent multi-session run. Every
+// session's kernel must target the same topology.
+type MultiConfig struct {
+	Topo           *topo.Topology
+	Sessions       []Session
+	Congestion     map[topo.ResourceID]float64
+	RecordTimeline bool
+}
+
+// Plan describes the derived micro-batch geometry of a run.
+type Plan struct {
+	// NMicroBatches is n of Eq. 3–5.
+	NMicroBatches int
+	// ChunkBytes is the effective per-transfer chunk size in bytes.
+	ChunkBytes float64
+}
+
+// PlanFor derives the micro-batch count and effective chunk size from a
+// buffer size: the buffer divides into NChunks chunks per micro-batch;
+// n = ⌈S / (chunk·NChunks)⌉ with the chunk shrunk exactly so that
+// n·chunk·NChunks == S.
+func PlanFor(bufferBytes, chunkBytes int64, nChunks int) Plan {
+	if bufferBytes <= 0 {
+		bufferBytes = 1
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	perMB := chunkBytes * int64(nChunks)
+	n := (bufferBytes + perMB - 1) / perMB
+	if n < 1 {
+		n = 1
+	}
+	return Plan{
+		NMicroBatches: int(n),
+		ChunkBytes:    float64(bufferBytes) / (float64(n) * float64(nChunks)),
+	}
+}
+
+// TBStats reports one thread block's lifecycle.
+type TBStats struct {
+	ID    int
+	Rank  ir.Rank
+	Label string
+	// Segments holds merged busy intervals [start,end) when the run was
+	// configured with RecordTimeline.
+	Segments [][2]float64
+	// FirstArrival is when the TB issued its first primitive; Release is
+	// when it retired its last.
+	FirstArrival, Release float64
+	// Exec is time spent driving transfers (latency + data phases);
+	// Sync is time spent blocked waiting for peers, dependencies or
+	// link turns.
+	Exec, Sync float64
+	// Slots is the TB's primitive count.
+	Slots int
+}
+
+// Result is the outcome of a single-kernel simulation.
+type Result struct {
+	// Completion is the collective's total time in seconds.
+	Completion float64
+	// AlgoBW is BufferBytes / Completion — the "algorithm bandwidth"
+	// metric of §5.2, in bytes/s.
+	AlgoBW float64
+	// Plan echoes the derived micro-batch geometry.
+	Plan Plan
+	// TBs has one entry per thread block.
+	TBs []TBStats
+	// LinkBusy maps every communication link that carried traffic to
+	// its busy time (≥1 transfer committed).
+	LinkBusy map[topo.LinkID]float64
+	// Instances is the number of task invocations executed.
+	Instances int
+}
+
+// MultiResult is the outcome of a concurrent run.
+type MultiResult struct {
+	// Completion is when the last session finished.
+	Completion float64
+	// Sessions holds one Result per session, in input order; each
+	// session's Completion is its own finish time.
+	Sessions []*Result
+	// LinkBusy aggregates busy time over all sessions.
+	LinkBusy map[topo.LinkID]float64
+}
+
+// MeanLinkUtilization returns the average busy fraction over links that
+// carried traffic — Table 1's "global link utilization".
+func (r *Result) MeanLinkUtilization() float64 {
+	if len(r.LinkBusy) == 0 || r.Completion <= 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range r.LinkBusy {
+		sum += b
+	}
+	return sum / (float64(len(r.LinkBusy)) * r.Completion)
+}
+
+// Run simulates a single kernel to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Topo == nil || cfg.Kernel == nil {
+		return nil, fmt.Errorf("sim: nil topology or kernel")
+	}
+	mr, err := RunConcurrent(MultiConfig{
+		Topo:           cfg.Topo,
+		Sessions:       []Session{{Kernel: cfg.Kernel, BufferBytes: cfg.BufferBytes, ChunkBytes: cfg.ChunkBytes}},
+		Congestion:     cfg.Congestion,
+		RecordTimeline: cfg.RecordTimeline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mr.Sessions[0], nil
+}
+
+// RunConcurrent simulates several kernels sharing the fabric.
+func RunConcurrent(cfg MultiConfig) (*MultiResult, error) {
+	if cfg.Topo == nil || len(cfg.Sessions) == 0 {
+		return nil, fmt.Errorf("sim: concurrent run needs a topology and at least one session")
+	}
+	for i, se := range cfg.Sessions {
+		if se.Kernel == nil {
+			return nil, fmt.Errorf("sim: session %d has no kernel", i)
+		}
+		if se.Kernel.Graph.Algo.NRanks != cfg.Topo.NRanks() {
+			return nil, fmt.Errorf("sim: session %d kernel targets %d ranks, topology has %d",
+				i, se.Kernel.Graph.Algo.NRanks, cfg.Topo.NRanks())
+		}
+	}
+	s := newSim(cfg)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+// event kinds.
+const (
+	evLatencyDone = iota
+	evDataDone
+)
+
+// gid is a global task index across sessions.
+type gid = int32
+
+type event struct {
+	time    float64
+	seq     int
+	kind    int
+	task    gid
+	version int // guards stale data-done events after rate changes
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+type tbState struct {
+	prog *kernel.TBProgram
+	sess int
+	// next is the index of the next instruction to issue.
+	next int
+	// arrival is when the TB reached its current instruction.
+	arrival float64
+	// started is when the current instance began transferring.
+	started  float64
+	inFlight bool
+	done     bool
+
+	firstArrival float64
+	release      float64
+	exec, sync   float64
+
+	// segments holds merged [start,end) busy intervals when timeline
+	// recording is enabled.
+	segments [][2]float64
+}
+
+type taskState struct {
+	sess int32
+	// local is the task's index within its session's graph.
+	local ir.TaskID
+	// doneMB is the number of completed micro-batch invocations; the
+	// pending invocation is always index doneMB (strict serial order).
+	doneMB int
+	// sendArr/recvArr mark that the task's TBs have arrived at the
+	// pending invocation.
+	sendArr, recvArr bool
+	inFlight         bool
+	// flow state while in the data phase.
+	remaining  float64
+	rate       float64
+	lastUpdate float64
+	active     bool
+	version    int
+	cap        float64
+	resources  []topo.ResourceID
+	alpha      float64
+	// linkSucc lists tasks (global ids) whose LinkPreds include this
+	// task.
+	linkSucc []gid
+}
+
+// session holds one kernel's execution state within a concurrent run.
+type session struct {
+	k      *kernel.Kernel
+	plan   Plan
+	buffer int64
+	interp float64
+	// taskOff/tbOff map local ids into the global arrays.
+	taskOff gid
+	tbOff   int
+	nTasks  int
+	nTBs    int
+
+	doneTBs    int
+	instances  int
+	completion float64
+
+	// mbRemaining[i] counts unfinished task invocations of micro-batch
+	// i when the kernel runs with a per-micro-batch barrier.
+	mbRemaining []int
+	mbReleased  int
+}
+
+type sim struct {
+	cfg  MultiConfig
+	topo *topo.Topology
+
+	sessions []*session
+
+	now    float64
+	events eventHeap
+	seq    int
+
+	tbs   []*tbState
+	tasks []taskState
+
+	// resFlows[res] lists tasks (global ids) with an active flow on the
+	// resource.
+	resFlows [][]gid
+	// resBusy accounting.
+	resBusy      []float64
+	resActiveCnt []int
+	resBusyStart []float64
+	usedLinks    map[topo.LinkID]struct{}
+
+	doneTBs int
+
+	// scratch holds the allocation-free working state of the rate
+	// computation (rates.go).
+	scratch rateScratch
+
+	// congestion[r] is the capacity fraction lost to background traffic
+	// (nil when the run is uncongested).
+	congestion []float64
+}
+
+func newSim(cfg MultiConfig) *sim {
+	t := cfg.Topo
+	s := &sim{
+		cfg:          cfg,
+		topo:         t,
+		resFlows:     make([][]gid, t.NResources()),
+		resBusy:      make([]float64, t.NResources()),
+		resActiveCnt: make([]int, t.NResources()),
+		resBusyStart: make([]float64, t.NResources()),
+		usedLinks:    make(map[topo.LinkID]struct{}),
+	}
+	if len(cfg.Congestion) > 0 {
+		s.congestion = make([]float64, t.NResources())
+		for r, f := range cfg.Congestion {
+			if f < 0 {
+				f = 0
+			}
+			if f > 0.95 {
+				f = 0.95
+			}
+			s.congestion[r] = f
+		}
+	}
+	totalTasks, totalTBs := 0, 0
+	for _, sc := range cfg.Sessions {
+		totalTasks += len(sc.Kernel.Graph.Tasks)
+		totalTBs += len(sc.Kernel.TBs)
+	}
+	s.tasks = make([]taskState, totalTasks)
+	s.tbs = make([]*tbState, totalTBs)
+
+	taskOff, tbOff := gid(0), 0
+	for si, sc := range cfg.Sessions {
+		k := sc.Kernel
+		se := &session{
+			k:       k,
+			plan:    PlanFor(sc.BufferBytes, sc.ChunkBytes, k.Graph.Algo.NChunks),
+			buffer:  sc.BufferBytes,
+			taskOff: taskOff,
+			tbOff:   tbOff,
+			nTasks:  len(k.Graph.Tasks),
+			nTBs:    len(k.TBs),
+		}
+		if k.Mode == kernel.ModeInterpreted {
+			se.interp = t.InterpCost.Seconds()
+		}
+		g := k.Graph
+		for i := 0; i < se.nTasks; i++ {
+			ts := &s.tasks[int(taskOff)+i]
+			p := g.Paths[i]
+			ts.sess = int32(si)
+			ts.local = ir.TaskID(i)
+			ts.cap = p.TBCap
+			ts.resources = p.Resources
+			ts.alpha = p.Alpha.Seconds()
+		}
+		for lt, preds := range k.LinkPreds {
+			for _, p := range preds {
+				s.tasks[int(taskOff)+int(p)].linkSucc =
+					append(s.tasks[int(taskOff)+int(p)].linkSucc, taskOff+gid(lt))
+			}
+		}
+		if k.MBBarrier {
+			se.mbRemaining = make([]int, se.plan.NMicroBatches)
+			for i := range se.mbRemaining {
+				se.mbRemaining[i] = se.nTasks
+			}
+		}
+		start := 0.0
+		if k.Mode == kernel.ModeDirect {
+			start = t.KernelLoad.Seconds()
+		}
+		for i, prog := range k.TBs {
+			s.tbs[tbOff+i] = &tbState{prog: prog, sess: si, arrival: start, firstArrival: start}
+		}
+		s.sessions = append(s.sessions, se)
+		taskOff += gid(se.nTasks)
+		tbOff += se.nTBs
+	}
+	s.scratch.init(totalTasks, t.NResources())
+	return s
+}
+
+// sess returns the session owning a global task id.
+func (s *sim) sess(t gid) *session { return s.sessions[s.tasks[t].sess] }
+
+func (s *sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *sim) run() error {
+	// Initial arrivals.
+	for _, tb := range s.tbs {
+		s.arrive(tb)
+	}
+	for i := range s.tbs {
+		s.tryStart(s.currentTask(s.tbs[i]))
+	}
+	// Budget: every instance costs two lifecycle events plus rate-change
+	// reschedules proportional to its contention component size.
+	totalInstances := 0
+	for _, se := range s.sessions {
+		totalInstances += se.nTasks * se.plan.NMicroBatches
+	}
+	maxEvents := 512*(totalInstances+16) + 1<<20
+	processed := 0
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		processed++
+		if processed > maxEvents {
+			return fmt.Errorf("sim: event budget exceeded (%d events) — livelock", processed)
+		}
+		s.now = e.time
+		switch e.kind {
+		case evLatencyDone:
+			s.enterDataPhase(e.task)
+		case evDataDone:
+			ts := &s.tasks[e.task]
+			if !ts.active || ts.version != e.version {
+				continue // stale: rates changed since this event was scheduled
+			}
+			s.finishInstance(e.task)
+		}
+	}
+	if s.doneTBs != len(s.tbs) {
+		return s.deadlockError()
+	}
+	return nil
+}
+
+// currentTask returns the global task id of the TB's pending
+// instruction, or -1 if the TB is done.
+func (s *sim) currentTask(tb *tbState) gid {
+	if tb.done {
+		return -1
+	}
+	se := s.sessions[tb.sess]
+	slot, _ := tb.prog.Instr(tb.next, se.plan.NMicroBatches)
+	return se.taskOff + gid(tb.prog.Slots[slot].Task.ID)
+}
+
+// arrive marks the TB as having reached its pending instruction and
+// registers the arrival with the task.
+func (s *sim) arrive(tb *tbState) {
+	if tb.done {
+		return
+	}
+	se := s.sessions[tb.sess]
+	t := s.currentTask(tb)
+	ts := &s.tasks[t]
+	slot, _ := tb.prog.Instr(tb.next, se.plan.NMicroBatches)
+	if tb.prog.Slots[slot].Kind == ir.PrimSend {
+		ts.sendArr = true
+	} else {
+		ts.recvArr = true
+	}
+	tb.arrival = s.now
+	if tb.arrival < tb.firstArrival {
+		tb.firstArrival = tb.arrival
+	}
+}
+
+// tryStart launches the pending invocation of task t if every readiness
+// condition holds: both TBs arrived, data dependencies done for this
+// micro-batch, and (ResCCL kernels) all link predecessors fully drained.
+func (s *sim) tryStart(t gid) {
+	if t < 0 {
+		return
+	}
+	ts := &s.tasks[t]
+	se := s.sess(t)
+	if ts.inFlight || ts.doneMB >= se.plan.NMicroBatches {
+		return
+	}
+	if !ts.sendArr || !ts.recvArr {
+		return
+	}
+	i := ts.doneMB
+	if se.k.MBBarrier && i > se.mbReleased {
+		return // lazy execution: previous micro-batch still in flight
+	}
+	g := se.k.Graph
+	for _, d := range g.Deps[ts.local] {
+		if s.tasks[se.taskOff+gid(d)].doneMB <= i {
+			return
+		}
+	}
+	for _, p := range se.k.LinkPreds[ts.local] {
+		if s.tasks[se.taskOff+gid(p)].doneMB < se.plan.NMicroBatches {
+			return
+		}
+	}
+	// Start: both TBs transition from waiting to executing, and the
+	// path's resources are committed to the transfer (busy accounting
+	// covers the startup phase as well as data movement).
+	ts.inFlight = true
+	for _, tbID := range []int{se.k.SendTB[ts.local], se.k.RecvTB[ts.local]} {
+		tb := s.tbs[se.tbOff+tbID]
+		tb.sync += s.now - tb.arrival
+		tb.started = s.now
+		tb.inFlight = true
+	}
+	for _, r := range ts.resources {
+		s.resActiveCnt[r]++
+		if s.resActiveCnt[r] == 1 {
+			s.resBusyStart[r] = s.now
+		}
+	}
+	for _, l := range g.Links[ts.local] {
+		s.usedLinks[l] = struct{}{}
+	}
+	lat := ts.alpha + 2*se.interp
+	s.push(event{time: s.now + lat, kind: evLatencyDone, task: t})
+}
+
+// enterDataPhase joins the flow to its resources and recomputes rates in
+// the affected component.
+func (s *sim) enterDataPhase(t gid) {
+	ts := &s.tasks[t]
+	ts.active = true
+	ts.remaining = s.sess(t).plan.ChunkBytes
+	ts.lastUpdate = s.now
+	ts.rate = 0
+	for _, r := range ts.resources {
+		s.resFlows[r] = append(s.resFlows[r], t)
+	}
+	s.recomputeComponent(t)
+}
+
+// finishInstance completes the pending invocation of task t: leave the
+// resources, advance both TBs, release dependents and link successors.
+func (s *sim) finishInstance(t gid) {
+	ts := &s.tasks[t]
+	se := s.sess(t)
+	for _, r := range ts.resources {
+		s.resFlows[r] = removeTask(s.resFlows[r], t)
+		s.resActiveCnt[r]--
+		if s.resActiveCnt[r] == 0 {
+			s.resBusy[r] += s.now - s.resBusyStart[r]
+		}
+	}
+	ts.active = false
+	ts.inFlight = false
+	ts.sendArr = false
+	ts.recvArr = false
+	ts.doneMB++
+	se.instances++
+
+	// Rates of former sharers may rise.
+	s.recomputeAround(ts.resources)
+
+	sendTB := s.tbs[se.tbOff+se.k.SendTB[ts.local]]
+	recvTB := s.tbs[se.tbOff+se.k.RecvTB[ts.local]]
+	for _, tb := range []*tbState{sendTB, recvTB} {
+		tb.exec += s.now - tb.started
+		if s.cfg.RecordTimeline {
+			if n := len(tb.segments); n > 0 && tb.segments[n-1][1] >= tb.started-1e-12 {
+				tb.segments[n-1][1] = s.now
+			} else {
+				tb.segments = append(tb.segments, [2]float64{tb.started, s.now})
+			}
+		}
+		tb.inFlight = false
+		tb.next++
+		if tb.next >= tb.prog.NInstr(se.plan.NMicroBatches) {
+			tb.done = true
+			tb.release = s.now
+			s.doneTBs++
+			se.doneTBs++
+			if se.doneTBs == se.nTBs {
+				se.completion = s.now
+			}
+			continue
+		}
+		s.arrive(tb)
+	}
+	// Wake the TBs' new tasks, the dependents, and link successors.
+	s.tryStart(s.currentTask(sendTB))
+	s.tryStart(s.currentTask(recvTB))
+	// The same task may still have micro-batches left (its TBs loop on
+	// it); tryStart above covers that case because currentTask returns t
+	// again.
+	for _, dep := range se.k.Graph.Dependents[ts.local] {
+		s.tryStart(se.taskOff + gid(dep))
+	}
+	if ts.doneMB == se.plan.NMicroBatches {
+		for _, succ := range ts.linkSucc {
+			s.tryStart(succ)
+		}
+	}
+	if se.mbRemaining != nil {
+		mb := ts.doneMB - 1
+		se.mbRemaining[mb]--
+		if se.mbRemaining[mb] == 0 && mb+1 > se.mbReleased {
+			se.mbReleased = mb + 1
+			// The barrier lifted: every waiting TB of this session may
+			// now proceed.
+			for i := 0; i < se.nTBs; i++ {
+				s.tryStart(s.currentTask(s.tbs[se.tbOff+i]))
+			}
+		}
+	}
+}
+
+func removeTask(list []gid, t gid) []gid {
+	for i, x := range list {
+		if x == t {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+func (s *sim) deadlockError() error {
+	var blocked []string
+	for _, tb := range s.tbs {
+		if tb.done {
+			continue
+		}
+		t := s.currentTask(tb)
+		ts := &s.tasks[t]
+		blocked = append(blocked, fmt.Sprintf(
+			"session %d TB %d (%s) at task %d mb %d/%d (sendArr=%v recvArr=%v)",
+			tb.sess, tb.prog.ID, tb.prog.Label, ts.local, ts.doneMB,
+			s.sessions[tb.sess].plan.NMicroBatches, ts.sendArr, ts.recvArr))
+		if len(blocked) >= 8 {
+			break
+		}
+	}
+	return fmt.Errorf("sim: deadlock at t=%.6fs: %d/%d TBs done; blocked: %v",
+		s.now, s.doneTBs, len(s.tbs), blocked)
+}
+
+func (s *sim) result() *MultiResult {
+	mr := &MultiResult{
+		Completion: s.now,
+		LinkBusy:   make(map[topo.LinkID]float64, len(s.usedLinks)),
+	}
+	for l := range s.usedLinks {
+		mr.LinkBusy[l] = s.resBusy[l]
+	}
+	for _, se := range s.sessions {
+		r := &Result{
+			Completion: se.completion,
+			Plan:       se.plan,
+			Instances:  se.instances,
+			LinkBusy:   mr.LinkBusy,
+		}
+		if se.buffer > 0 && se.completion > 0 {
+			r.AlgoBW = float64(se.buffer) / se.completion
+		}
+		for i := 0; i < se.nTBs; i++ {
+			tb := s.tbs[se.tbOff+i]
+			r.TBs = append(r.TBs, TBStats{
+				ID:           tb.prog.ID,
+				Rank:         tb.prog.Rank,
+				Label:        tb.prog.Label,
+				Segments:     tb.segments,
+				FirstArrival: tb.firstArrival,
+				Release:      tb.release,
+				Exec:         tb.exec,
+				Sync:         tb.sync,
+				Slots:        len(tb.prog.Slots),
+			})
+		}
+		sort.Slice(r.TBs, func(i, j int) bool { return r.TBs[i].ID < r.TBs[j].ID })
+		mr.Sessions = append(mr.Sessions, r)
+	}
+	return mr
+}
+
+// scheduleDataDone (re)schedules the completion event for an active flow
+// after a rate change.
+func (s *sim) scheduleDataDone(t gid) {
+	ts := &s.tasks[t]
+	ts.version++
+	if ts.rate <= 0 {
+		// A flow can only be rate-zero if a resource is fully consumed
+		// by frozen flows, which max-min never produces with positive
+		// capacities; guard against division by zero regardless.
+		ts.rate = 1
+	}
+	fin := s.now + ts.remaining/ts.rate
+	if ts.remaining <= 1e-9 {
+		fin = s.now
+	}
+	s.push(event{time: fin, kind: evDataDone, task: t, version: ts.version})
+}
+
+// advanceFlow charges elapsed transmission to the flow's remaining bytes.
+func (s *sim) advanceFlow(t gid) {
+	ts := &s.tasks[t]
+	if !ts.active {
+		return
+	}
+	elapsed := s.now - ts.lastUpdate
+	if elapsed > 0 && ts.rate > 0 {
+		ts.remaining -= elapsed * ts.rate
+		if ts.remaining < 0 {
+			ts.remaining = 0
+		}
+	}
+	ts.lastUpdate = s.now
+}

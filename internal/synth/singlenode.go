@@ -1,0 +1,150 @@
+package synth
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Single-node synthesizer output. Real TACCL/TECCL plans inside one
+// server exhibit the same pathologies the paper measures at scale:
+// TACCL sketches concentrate traffic on a hub GPU, TECCL's flow-style
+// plans serialize into phases. Both are valid algorithms that leave most
+// NVSwitch links idle most of the time — the low link utilization of
+// Table 1's first row.
+
+func singleHeader(name string, op ir.OpType, gpn int) (*ir.Algorithm, error) {
+	if gpn < 2 {
+		return nil, fmt.Errorf("synth: %s needs ≥2 GPUs, got %d", name, gpn)
+	}
+	return &ir.Algorithm{
+		Name:    name,
+		Op:      op,
+		NRanks:  gpn,
+		NChunks: gpn,
+		NWarps:  16,
+	}, nil
+}
+
+// tacclAllGatherSingle builds a hub-and-spoke AllGather: every GPU ships
+// its chunk to GPU 0, which then redistributes everything.
+func tacclAllGatherSingle(gpn int) (*ir.Algorithm, error) {
+	a, err := singleHeader("TACCL-AllGather", ir.OpAllGather, gpn)
+	if err != nil {
+		return nil, err
+	}
+	// Spokes → hub, serialized as the sketch solver emits them.
+	for src := 1; src < gpn; src++ {
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: ir.Rank(src), Dst: 0,
+			Step: ir.Step(src - 1), Chunk: ir.ChunkID(src), Type: ir.CommRecv,
+		})
+	}
+	// Hub → spokes: chunk c goes to every GPU except its owner, one
+	// step per chunk.
+	base := gpn - 1
+	for c := 0; c < gpn; c++ {
+		for dst := 1; dst < gpn; dst++ {
+			if dst == c {
+				continue
+			}
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: 0, Dst: ir.Rank(dst),
+				Step: ir.Step(base + c), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}
+
+// tacclAllReduceSingle reduces every chunk at the hub and broadcasts the
+// results back — g× the optimal volume through one GPU's links.
+func tacclAllReduceSingle(gpn int) (*ir.Algorithm, error) {
+	a, err := singleHeader("TACCL-AllReduce", ir.OpAllReduce, gpn)
+	if err != nil {
+		return nil, err
+	}
+	for src := 1; src < gpn; src++ {
+		for c := 0; c < gpn; c++ {
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(src), Dst: 0,
+				Step: ir.Step(src - 1), Chunk: ir.ChunkID(c), Type: ir.CommRecvReduceCopy,
+			})
+		}
+	}
+	base := gpn - 1
+	for c := 0; c < gpn; c++ {
+		for dst := 1; dst < gpn; dst++ {
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: 0, Dst: ir.Rank(dst),
+				Step: ir.Step(base + c), Chunk: ir.ChunkID(c), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}
+
+// tecclAllGatherSingle routes every chunk through an intermediate relay
+// (flow-style two-hop paths, as TECCL's multi-commodity formulation
+// produces): GPU r ships its chunk to r+1, which then forwards it to the
+// remaining peers. The forwarding dependency prevents lazy execution
+// from overlapping the two hops.
+func tecclAllGatherSingle(gpn int) (*ir.Algorithm, error) {
+	a, err := singleHeader("TECCL-AllGather", ir.OpAllGather, gpn)
+	if err != nil {
+		return nil, err
+	}
+	for src := 0; src < gpn; src++ {
+		relay := (src + 1) % gpn
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: ir.Rank(src), Dst: ir.Rank(relay),
+			Step: 0, Chunk: ir.ChunkID(src), Type: ir.CommRecv,
+		})
+		for dst := 0; dst < gpn; dst++ {
+			if dst == src || dst == relay {
+				continue
+			}
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(relay), Dst: ir.Rank(dst),
+				Step: 1, Chunk: ir.ChunkID(src), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}
+
+// tecclAllReduceSingle is a full-mesh ReduceScatter + AllGather with the
+// same parity serialization in both phases.
+func tecclAllReduceSingle(gpn int) (*ir.Algorithm, error) {
+	a, err := singleHeader("TECCL-AllReduce", ir.OpAllReduce, gpn)
+	if err != nil {
+		return nil, err
+	}
+	half := (gpn + 1) / 2
+	// ReduceScatter: src sends chunk d to GPU d; step encodes the
+	// parity phase and the source's slot within it, so writes into
+	// (d, chunk d) are totally ordered.
+	for src := 0; src < gpn; src++ {
+		step := (src%2)*half + src/2
+		for off := 0; off < gpn-1; off++ {
+			d := (src + off + 1) % gpn
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(src), Dst: ir.Rank(d),
+				Step: ir.Step(step), Chunk: ir.ChunkID(d), Type: ir.CommRecvReduceCopy,
+			})
+		}
+	}
+	// AllGather of the reduced chunks, parity-serialized again.
+	agBase := 2 * half
+	for src := 0; src < gpn; src++ {
+		step := agBase + (src%2)*half + src/2
+		for off := 0; off < gpn-1; off++ {
+			d := (src + off + 1) % gpn
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: ir.Rank(src), Dst: ir.Rank(d),
+				Step: ir.Step(step), Chunk: ir.ChunkID(src), Type: ir.CommRecv,
+			})
+		}
+	}
+	return a, a.Validate()
+}

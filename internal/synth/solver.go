@@ -1,0 +1,277 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Solver is a small flow-routing synthesizer: the greedy heuristic core
+// of what TECCL's multi-commodity MILP approximates. Given a topology it
+// routes every chunk from its owner to every destination over
+// load-balanced paths (direct intra-node hops, NIC-aware inter-node hops
+// with per-NIC load tracking and optional relay hops), then assigns
+// steps by path depth. The output is a valid algorithm-level plan —
+// exactly the kind of synthesizer output the paper's backends consume.
+type Solver struct {
+	// Topo is the target cluster.
+	Topo *topo.Topology
+}
+
+// nicLoad tracks how many chunk-hops have been placed on each NIC, so
+// the router spreads inter-node traffic (the load balancing TECCL's
+// objective encodes).
+type nicLoad struct {
+	egress, ingress []int
+}
+
+// SynthesizeAllGather routes every rank's chunk to all other ranks and
+// returns the resulting plan.
+func (s *Solver) SynthesizeAllGather() (*ir.Algorithm, error) {
+	t := s.Topo
+	if t == nil {
+		return nil, fmt.Errorf("synth: solver needs a topology")
+	}
+	n := t.NRanks()
+	if n < 2 {
+		return nil, fmt.Errorf("synth: need ≥2 ranks, got %d", n)
+	}
+	a := &ir.Algorithm{
+		Name:    "Solver-AllGather",
+		Op:      ir.OpAllGather,
+		NRanks:  n,
+		NChunks: n,
+		NWarps:  16,
+	}
+	load := &nicLoad{
+		egress:  make([]int, t.NNodes*t.NICsPerNode),
+		ingress: make([]int, t.NNodes*t.NICsPerNode),
+	}
+	// Per (rank, chunk) arrival step, so forwarding hops depend on
+	// delivered data. Owners start at step −1 (available before step 0).
+	arrival := make(map[[2]int]int, n*n)
+	for c := 0; c < n; c++ {
+		arrival[[2]int{c, c}] = -1
+	}
+
+	// Route chunks in round-robin over owners so NIC load interleaves.
+	for c := 0; c < n; c++ {
+		owner := ir.Rank(c)
+		// Ship the chunk to a representative on every other node first
+		// (inter-node hops are the scarce resource), then fan out
+		// intra-node.
+		for node := 0; node < t.NNodes; node++ {
+			if node == t.Node(owner) {
+				continue
+			}
+			if err := s.routeToNode(a, load, arrival, owner, ir.ChunkID(c), node); err != nil {
+				return nil, err
+			}
+		}
+		// Intra-node fan-out on every node (including the owner's).
+		for node := 0; node < t.NNodes; node++ {
+			s.fanOut(a, arrival, ir.ChunkID(c), node)
+		}
+	}
+	return a, a.Validate()
+}
+
+// routeToNode places the inter-node hop carrying chunk c from a holder
+// on the owner's node to some representative GPU on the target node,
+// choosing the NIC pair with the least load.
+func (s *Solver) routeToNode(a *ir.Algorithm, load *nicLoad, arrival map[[2]int]int,
+	owner ir.Rank, c ir.ChunkID, dstNode int) error {
+
+	t := s.Topo
+	// Candidate sources: any GPU already holding the chunk (owner's node
+	// GPUs after fan-out would need ordering; keep to GPUs with recorded
+	// arrival).
+	bestCost := int(^uint(0) >> 1)
+	var bestSrc, bestDst ir.Rank = -1, -1
+	for srcLocal := 0; srcLocal < t.GPUsPerNode; srcLocal++ {
+		src := ir.Rank(t.Node(owner)*t.GPUsPerNode + srcLocal)
+		if _, has := arrival[[2]int{int(src), int(c)}]; !has {
+			continue
+		}
+		for dstLocal := 0; dstLocal < t.GPUsPerNode; dstLocal++ {
+			dst := ir.Rank(dstNode*t.GPUsPerNode + dstLocal)
+			cost := load.egress[t.NIC(src)] + load.ingress[t.NIC(dst)]
+			if cost < bestCost {
+				bestCost, bestSrc, bestDst = cost, src, dst
+			}
+		}
+	}
+	if bestSrc < 0 {
+		return fmt.Errorf("synth: no holder of chunk %d on node %d", c, t.Node(owner))
+	}
+	srcArr := arrival[[2]int{int(bestSrc), int(c)}]
+	step := srcArr + 1
+	// Inter-node hops start after the intra fan-out window so plans
+	// stay hazard-free; depth-based steps keep dependencies satisfied.
+	if step < t.GPUsPerNode {
+		step = t.GPUsPerNode
+	}
+	// Serialize per NIC: later placements on a loaded NIC get later
+	// steps, encoding the queueing the MILP's makespan objective models.
+	step += load.egress[t.NIC(bestSrc)]
+	a.Transfers = append(a.Transfers, ir.Transfer{
+		Src: bestSrc, Dst: bestDst, Step: ir.Step(step), Chunk: c, Type: ir.CommRecv,
+	})
+	load.egress[t.NIC(bestSrc)]++
+	load.ingress[t.NIC(bestDst)]++
+	key := [2]int{int(bestDst), int(c)}
+	if prev, ok := arrival[key]; !ok || step < prev {
+		arrival[key] = step
+	}
+	return nil
+}
+
+// fanOut broadcasts chunk c from its earliest holder on the node to all
+// local peers, one step after arrival.
+func (s *Solver) fanOut(a *ir.Algorithm, arrival map[[2]int]int, c ir.ChunkID, node int) {
+	t := s.Topo
+	// Find the earliest holder on this node.
+	holder := ir.Rank(-1)
+	at := int(^uint(0) >> 1)
+	for l := 0; l < t.GPUsPerNode; l++ {
+		r := ir.Rank(node*t.GPUsPerNode + l)
+		if arr, ok := arrival[[2]int{int(r), int(c)}]; ok && arr < at {
+			holder, at = r, arr
+		}
+	}
+	if holder < 0 {
+		return // chunk never reaches this node (cannot happen after routing)
+	}
+	step := at + 1
+	for l := 0; l < t.GPUsPerNode; l++ {
+		r := ir.Rank(node*t.GPUsPerNode + l)
+		if r == holder {
+			continue
+		}
+		if _, ok := arrival[[2]int{int(r), int(c)}]; ok {
+			continue // already delivered by routing
+		}
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: holder, Dst: r, Step: ir.Step(step), Chunk: c, Type: ir.CommRecv,
+		})
+		arrival[[2]int{int(r), int(c)}] = step
+	}
+}
+
+// SynthesizeAllReduce assembles an AllReduce from the solver's routed
+// AllGather combined with a reduce-to-owner phase — the "general
+// assembly technique" of §5.2 for synthesizers without native AllReduce.
+func (s *Solver) SynthesizeAllReduce() (*ir.Algorithm, error) {
+	t := s.Topo
+	if t == nil {
+		return nil, fmt.Errorf("synth: solver needs a topology")
+	}
+	n := t.NRanks()
+	if n < 2 {
+		return nil, fmt.Errorf("synth: need ≥2 ranks, got %d", n)
+	}
+	a := &ir.Algorithm{
+		Name:    "Solver-AllReduce",
+		Op:      ir.OpAllReduce,
+		NRanks:  n,
+		NChunks: n,
+		NWarps:  16,
+	}
+	gpn := t.GPUsPerNode
+	// Phase 1 — intra-node reduce: every GPU reduces chunk c into c's
+	// node-local representative (local index c mod gpn), ordered by
+	// sender local index.
+	for node := 0; node < t.NNodes; node++ {
+		for c := 0; c < n; c++ {
+			rep := ir.Rank(node*gpn + c%gpn)
+			step := 0
+			for l := 0; l < gpn; l++ {
+				src := ir.Rank(node*gpn + l)
+				if src == rep {
+					continue
+				}
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: src, Dst: rep, Step: ir.Step(step), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecvReduceCopy,
+				})
+				step++
+			}
+		}
+	}
+	// Phase 2 — cross-node reduce to the chunk's owner representative,
+	// NIC-load-balanced order.
+	base2 := gpn // after phase 1's gpn−1 steps
+	type hop struct {
+		src, dst ir.Rank
+		c        ir.ChunkID
+	}
+	var hops []hop
+	for c := 0; c < n; c++ {
+		ownRep := ir.Rank(c)
+		for node := 0; node < t.NNodes; node++ {
+			if node == t.Node(ownRep) {
+				continue
+			}
+			hops = append(hops, hop{src: ir.Rank(node*gpn + c%gpn), dst: ownRep, c: ir.ChunkID(c)})
+		}
+	}
+	sort.SliceStable(hops, func(i, j int) bool { // interleave chunks across NICs
+		if hops[i].c%ir.ChunkID(gpn) != hops[j].c%ir.ChunkID(gpn) {
+			return hops[i].c%ir.ChunkID(gpn) < hops[j].c%ir.ChunkID(gpn)
+		}
+		return i < j
+	})
+	perDst := map[ir.Rank]int{}
+	for _, h := range hops {
+		a.Transfers = append(a.Transfers, ir.Transfer{
+			Src: h.src, Dst: h.dst, Step: ir.Step(base2 + perDst[h.dst]), Chunk: h.c,
+			Type: ir.CommRecvReduceCopy,
+		})
+		perDst[h.dst]++
+	}
+	// Phase 3 — broadcast back: owner ships the reduced chunk to every
+	// node's representative, then representatives fan out locally.
+	base3 := base2 + t.NNodes // phase 2 uses ≤ nNodes−1 steps per owner
+	for c := 0; c < n; c++ {
+		owner := ir.Rank(c)
+		k := 0
+		for node := 0; node < t.NNodes; node++ {
+			if node == t.Node(owner) {
+				continue
+			}
+			rep := ir.Rank(node*gpn + c%gpn)
+			a.Transfers = append(a.Transfers, ir.Transfer{
+				Src: owner, Dst: rep, Step: ir.Step(base3 + k), Chunk: ir.ChunkID(c),
+				Type: ir.CommRecv,
+			})
+			k++
+		}
+	}
+	base4 := base3 + t.NNodes
+	for c := 0; c < n; c++ {
+		for node := 0; node < t.NNodes; node++ {
+			holder := ir.Rank(node*gpn + c%gpn)
+			if node == t.Node(ir.Rank(c)) {
+				holder = ir.Rank(c)
+			}
+			step := 0
+			for l := 0; l < gpn; l++ {
+				dst := ir.Rank(node*gpn + l)
+				if dst == holder {
+					continue
+				}
+				if node == t.Node(ir.Rank(c)) && dst == ir.Rank(c) {
+					continue
+				}
+				a.Transfers = append(a.Transfers, ir.Transfer{
+					Src: holder, Dst: dst, Step: ir.Step(base4 + step), Chunk: ir.ChunkID(c),
+					Type: ir.CommRecv,
+				})
+				step++
+			}
+		}
+	}
+	return a, a.Validate()
+}

@@ -1,0 +1,386 @@
+// Package topo models the cluster fabric the paper evaluates on: servers
+// of GPUs joined by an NVSwitch intra-node fabric, NICs shared by GPU
+// pairs, and a two-tier Clos network between servers (§5.1).
+//
+// The topology exposes two views used by the rest of the system:
+//
+//   - a resource view for the flow-level simulator: every transfer path is
+//     a set of capacity resources (GPU NVSwitch ports, NIC queues, the
+//     point-to-point channel itself) over which bandwidth is shared;
+//   - a link view for scheduling: the "communication links" of §3 whose
+//     sharing between concurrently scheduled tasks constitutes a
+//     communication dependency, and the "connections" of §4.4 that
+//     baseline backends allocate one thread block each.
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// ResourceID names one capacity resource in the cluster. IDs are dense
+// per topology; see Topology for the layout.
+type ResourceID int
+
+// LinkID names one communication link for dependency analysis. Link IDs
+// share the ResourceID space: intra-node links are the per-pair channel
+// resources, inter-node links are the NIC resources.
+type LinkID = ResourceID
+
+// ResourceKind distinguishes switch-port style resources (pure capacity
+// sharing) from serializing links (capacity sharing plus the Eq. 1
+// contention penalty γ·L(z) when overcommitted).
+type ResourceKind int
+
+// Resource kinds.
+const (
+	// KindSwitchPort shares bandwidth max-min with no extra penalty
+	// (NVSwitch GPU ports: the switch is non-blocking).
+	KindSwitchPort ResourceKind = iota
+	// KindSerialLink pays the paper's γ·L(z) contention penalty when the
+	// aggregate thread-level capability of its flows exceeds its
+	// bandwidth (NICs and point-to-point channels).
+	KindSerialLink
+)
+
+// Profile bundles the hardware constants of one GPU generation / fabric,
+// including the cost-model parameters of Eq. 1.
+type Profile struct {
+	// Name labels the profile ("A100-NVSwitch-200G", "V100-100G").
+	Name string
+
+	// NVLinkBW is the intra-node port bandwidth per GPU in bytes/s.
+	NVLinkBW float64
+	// NICBW is one NIC's bandwidth in bytes/s.
+	NICBW float64
+
+	// LatIntra and LatInter are the per-chunk startup overheads α for
+	// intra-node and inter-node transfers. The paper measures
+	// λ_inter ≥ 2.5 × λ_intra (§4.3).
+	LatIntra time.Duration
+	LatInter time.Duration
+	// LatCrossRack is the additional latency when the path crosses the
+	// second Clos tier (different ToR).
+	LatCrossRack time.Duration
+
+	// TBCapIntra and TBCapInter are the sustained bandwidth a single
+	// thread block can drive over an intra-node or inter-node path. The
+	// default profiles follow the paper's Eq. 3–5 convention (β is the
+	// inverse of the link bandwidth, so one TB drives a link at line
+	// rate); the Fig. 4 microbenchmark probes the small-TB regime by
+	// lowering TBCapInter to NICBW/4.
+	TBCapIntra float64
+	TBCapInter float64
+
+	// Gamma scales the contention penalty L(z) of Eq. 1: when the
+	// aggregate TB capability on a serializing link exceeds its
+	// bandwidth by factor z, goodput is divided by 1 + Gamma·(z−1)².
+	Gamma float64
+
+	// InterpCost is the per-primitive-invocation overhead of a runtime
+	// interpreter backend (loading and parsing the plan during
+	// execution, §2.2). Direct kernels do not pay it.
+	InterpCost time.Duration
+	// KernelLoad is the one-time pipeline fill / kernel launch cost
+	// t_Load of Eq. 5.
+	KernelLoad time.Duration
+}
+
+// GiB is 2^30 bytes; exported for benchmark parameter tables.
+const GiB = 1 << 30
+
+// MiB is 2^20 bytes.
+const MiB = 1 << 20
+
+// A100 returns the paper's primary testbed profile: A100 GPUs, 300 GB/s
+// per-GPU NVSwitch bandwidth, 200 Gbps RoCE NICs shared by two GPUs.
+func A100() Profile {
+	return Profile{
+		Name:         "A100-NVSwitch-200G",
+		NVLinkBW:     300e9,
+		NICBW:        25e9, // 200 Gb/s
+		LatIntra:     6 * time.Microsecond,
+		LatInter:     15 * time.Microsecond,
+		LatCrossRack: 3 * time.Microsecond,
+		TBCapIntra:   300e9, // one TB drives a point-to-point channel at full rate (Eq. 3-5: beta = 1/linkBW)
+		TBCapInter:   25e9,  // one TB drives a NIC at line rate
+		Gamma:        0.6,
+		InterpCost:   1200 * time.Nanosecond,
+		KernelLoad:   12 * time.Microsecond,
+	}
+}
+
+// H100 returns a DGX-H100 class profile: 450 GB/s per-GPU NVSwitch
+// bandwidth and 400 Gb/s InfiniBand NICs (one per GPU pair) — the
+// system whose 17-43% communication overheads the paper's introduction
+// cites as motivation.
+func H100() Profile {
+	return Profile{
+		Name:         "H100-NVSwitch-400G",
+		NVLinkBW:     450e9,
+		NICBW:        50e9, // 400 Gb/s
+		LatIntra:     5 * time.Microsecond,
+		LatInter:     12 * time.Microsecond,
+		LatCrossRack: 3 * time.Microsecond,
+		TBCapIntra:   450e9,
+		TBCapInter:   50e9,
+		Gamma:        0.6,
+		InterpCost:   1000 * time.Nanosecond,
+		KernelLoad:   10 * time.Microsecond,
+	}
+}
+
+// V100 returns the heterogeneous-cluster profile of §5.2: V100 GPUs on
+// 100 Gbps RoCE.
+func V100() Profile {
+	return Profile{
+		Name:         "V100-100G",
+		NVLinkBW:     130e9,
+		NICBW:        12.5e9, // 100 Gb/s
+		LatIntra:     8 * time.Microsecond,
+		LatInter:     22 * time.Microsecond,
+		LatCrossRack: 4 * time.Microsecond,
+		TBCapIntra:   130e9,
+		TBCapInter:   12.5e9,
+		Gamma:        0.7,
+		InterpCost:   1600 * time.Nanosecond,
+		KernelLoad:   16 * time.Microsecond,
+	}
+}
+
+// Topology is an immutable description of one cluster: NNodes servers of
+// GPUsPerNode GPUs each, NICsPerNode NICs per server (GPUs share NICs
+// evenly), ServersPerRack servers under each ToR switch.
+type Topology struct {
+	Profile
+
+	NNodes         int
+	GPUsPerNode    int
+	NICsPerNode    int
+	ServersPerRack int
+
+	nRanks    int
+	totalNICs int
+	// Resource layout offsets.
+	offEgress, offIngress, offNICEg, offNICIn, offPair int
+	nResources                                         int
+}
+
+// Option customises topology construction.
+type Option func(*Topology)
+
+// WithNICs overrides the number of NICs per server (default
+// GPUsPerNode/2, minimum 1).
+func WithNICs(n int) Option { return func(t *Topology) { t.NICsPerNode = n } }
+
+// WithServersPerRack overrides how many servers share a ToR (default 2).
+func WithServersPerRack(n int) Option { return func(t *Topology) { t.ServersPerRack = n } }
+
+// New builds a topology of nNodes servers with gpusPerNode GPUs each
+// under the given hardware profile. It panics on non-positive dimensions;
+// construction parameters are programmer input, not runtime data.
+func New(nNodes, gpusPerNode int, p Profile, opts ...Option) *Topology {
+	if nNodes < 1 || gpusPerNode < 1 {
+		panic(fmt.Sprintf("topo: invalid dimensions %d nodes × %d GPUs", nNodes, gpusPerNode))
+	}
+	t := &Topology{
+		Profile:        p,
+		NNodes:         nNodes,
+		GPUsPerNode:    gpusPerNode,
+		NICsPerNode:    max(1, gpusPerNode/2),
+		ServersPerRack: 2,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.NICsPerNode < 1 || t.NICsPerNode > gpusPerNode {
+		panic(fmt.Sprintf("topo: invalid NICsPerNode %d for %d GPUs/node", t.NICsPerNode, gpusPerNode))
+	}
+	if t.ServersPerRack < 1 {
+		panic(fmt.Sprintf("topo: invalid ServersPerRack %d", t.ServersPerRack))
+	}
+	t.nRanks = nNodes * gpusPerNode
+	t.totalNICs = nNodes * t.NICsPerNode
+	t.offEgress = 0
+	t.offIngress = t.nRanks
+	t.offNICEg = 2 * t.nRanks
+	t.offNICIn = t.offNICEg + t.totalNICs
+	t.offPair = t.offNICIn + t.totalNICs
+	t.nResources = t.offPair + t.nRanks*t.nRanks
+	return t
+}
+
+// NRanks is the total number of GPUs.
+func (t *Topology) NRanks() int { return t.nRanks }
+
+// NResources is the size of the dense ResourceID space.
+func (t *Topology) NResources() int { return t.nResources }
+
+// Node returns the server index hosting rank r.
+func (t *Topology) Node(r ir.Rank) int { return int(r) / t.GPUsPerNode }
+
+// LocalIndex returns r's index within its server.
+func (t *Topology) LocalIndex(r ir.Rank) int { return int(r) % t.GPUsPerNode }
+
+// SameNode reports whether a and b are on the same server.
+func (t *Topology) SameNode(a, b ir.Rank) bool { return t.Node(a) == t.Node(b) }
+
+// Rack returns the rack (ToR) index of a server.
+func (t *Topology) Rack(node int) int { return node / t.ServersPerRack }
+
+// NIC returns the global NIC index serving rank r. GPUs are assigned to
+// NICs in contiguous groups, matching the testbed where every two GPUs
+// share one NIC.
+func (t *Topology) NIC(r ir.Rank) int {
+	perNIC := t.GPUsPerNode / t.NICsPerNode
+	if perNIC == 0 {
+		perNIC = 1
+	}
+	local := t.LocalIndex(r) / perNIC
+	if local >= t.NICsPerNode {
+		local = t.NICsPerNode - 1
+	}
+	return t.Node(r)*t.NICsPerNode + local
+}
+
+// Resource identifiers.
+
+// EgressPort returns rank r's NVSwitch egress port resource.
+func (t *Topology) EgressPort(r ir.Rank) ResourceID { return ResourceID(t.offEgress + int(r)) }
+
+// IngressPort returns rank r's NVSwitch ingress port resource.
+func (t *Topology) IngressPort(r ir.Rank) ResourceID { return ResourceID(t.offIngress + int(r)) }
+
+// NICEgress returns the egress resource of global NIC n.
+func (t *Topology) NICEgress(n int) ResourceID { return ResourceID(t.offNICEg + n) }
+
+// NICIngress returns the ingress resource of global NIC n.
+func (t *Topology) NICIngress(n int) ResourceID { return ResourceID(t.offNICIn + n) }
+
+// PairLink returns the point-to-point channel resource for src→dst. This
+// is the intra-node "communication link" of §3.
+func (t *Topology) PairLink(src, dst ir.Rank) ResourceID {
+	return ResourceID(t.offPair + int(src)*t.nRanks + int(dst))
+}
+
+// Capacity returns a resource's bandwidth in bytes/s.
+func (t *Topology) Capacity(res ResourceID) float64 {
+	switch {
+	case int(res) < t.offNICEg:
+		return t.NVLinkBW
+	case int(res) < t.offPair:
+		return t.NICBW
+	default:
+		return t.NVLinkBW
+	}
+}
+
+// Kind returns whether the resource is a switch port or a serializing
+// link for the purposes of the Eq. 1 contention penalty.
+func (t *Topology) Kind(res ResourceID) ResourceKind {
+	if int(res) < t.offNICEg {
+		return KindSwitchPort
+	}
+	return KindSerialLink
+}
+
+// DescribeResource renders a resource ID for traces.
+func (t *Topology) DescribeResource(res ResourceID) string {
+	i := int(res)
+	switch {
+	case i < t.offIngress:
+		return fmt.Sprintf("nv-egress(gpu%d)", i-t.offEgress)
+	case i < t.offNICEg:
+		return fmt.Sprintf("nv-ingress(gpu%d)", i-t.offIngress)
+	case i < t.offNICIn:
+		return fmt.Sprintf("nic-egress(%d)", i-t.offNICEg)
+	case i < t.offPair:
+		return fmt.Sprintf("nic-ingress(%d)", i-t.offNICIn)
+	default:
+		p := i - t.offPair
+		return fmt.Sprintf("pair(%d→%d)", p/t.nRanks, p%t.nRanks)
+	}
+}
+
+// Path is everything the simulator and scheduler need to know about
+// moving one chunk from Src to Dst.
+type Path struct {
+	Src, Dst ir.Rank
+	// Intra reports whether the path stays inside one server.
+	Intra bool
+	// Alpha is the per-chunk startup overhead α.
+	Alpha time.Duration
+	// TBCap is the per-thread-block sustained bandwidth on this path.
+	TBCap float64
+	// Resources are all capacity resources the flow occupies.
+	Resources []ResourceID
+	// CommLinks is the subset of resources whose sharing between tasks
+	// constitutes a communication dependency (§3): the point-to-point
+	// channel for intra-node paths, the two NIC queues for inter-node.
+	CommLinks []ResourceID
+}
+
+// Path computes the path from src to dst. It panics if src == dst (a
+// transfer to self is a plan construction bug, caught earlier by
+// ir.Transfer.Validate).
+func (t *Topology) Path(src, dst ir.Rank) Path {
+	if src == dst {
+		panic(fmt.Sprintf("topo: path %d→%d to self", src, dst))
+	}
+	if t.SameNode(src, dst) {
+		pair := t.PairLink(src, dst)
+		return Path{
+			Src: src, Dst: dst, Intra: true,
+			Alpha:     t.LatIntra,
+			TBCap:     t.TBCapIntra,
+			Resources: []ResourceID{t.EgressPort(src), t.IngressPort(dst), pair},
+			CommLinks: []ResourceID{pair},
+		}
+	}
+	alpha := t.LatInter
+	if t.Rack(t.Node(src)) != t.Rack(t.Node(dst)) {
+		alpha += t.LatCrossRack
+	}
+	eg := t.NICEgress(t.NIC(src))
+	in := t.NICIngress(t.NIC(dst))
+	return Path{
+		Src: src, Dst: dst, Intra: false,
+		Alpha:     alpha,
+		TBCap:     t.TBCapInter,
+		Resources: []ResourceID{eg, in},
+		CommLinks: []ResourceID{eg, in},
+	}
+}
+
+// LinkWindow returns how many transmission tasks driven by thread
+// blocks of capability tbCap may occupy link l concurrently before the
+// aggregate thread-level capability exceeds the link's bandwidth — the
+// saturation point of Fig. 4 (four TBs per NIC). Scheduling more than
+// this window onto a link constitutes a communication dependency (§3).
+func (t *Topology) LinkWindow(l ResourceID, tbCap float64) int {
+	if tbCap <= 0 {
+		return 1
+	}
+	k := int(t.Capacity(l) / tbCap)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Connection identifies a directed GPU peer pair — the unit to which
+// baseline backends statically assign one thread block each (§4.4).
+type Connection struct {
+	Src, Dst ir.Rank
+}
+
+// String formats the connection.
+func (c Connection) String() string { return fmt.Sprintf("%d→%d", c.Src, c.Dst) }
+
+// String summarises the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("%s: %d nodes × %d GPUs (%d ranks, %d NICs/node, %d servers/rack)",
+		t.Profile.Name, t.NNodes, t.GPUsPerNode, t.nRanks, t.NICsPerNode, t.ServersPerRack)
+}

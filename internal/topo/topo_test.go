@@ -1,0 +1,269 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+func TestLayout(t *testing.T) {
+	tp := New(4, 8, A100())
+	if tp.NRanks() != 32 {
+		t.Fatalf("NRanks = %d, want 32", tp.NRanks())
+	}
+	if tp.Node(0) != 0 || tp.Node(7) != 0 || tp.Node(8) != 1 || tp.Node(31) != 3 {
+		t.Error("node assignment wrong")
+	}
+	if tp.LocalIndex(13) != 5 {
+		t.Errorf("LocalIndex(13) = %d, want 5", tp.LocalIndex(13))
+	}
+	if !tp.SameNode(8, 15) || tp.SameNode(7, 8) {
+		t.Error("SameNode wrong")
+	}
+	// 2 servers per rack by default → nodes 0,1 rack 0; nodes 2,3 rack 1.
+	if tp.Rack(0) != 0 || tp.Rack(1) != 0 || tp.Rack(2) != 1 {
+		t.Error("rack assignment wrong")
+	}
+}
+
+func TestNICSharing(t *testing.T) {
+	tp := New(2, 8, A100()) // 4 NICs per node, 2 GPUs per NIC
+	if tp.NICsPerNode != 4 {
+		t.Fatalf("NICsPerNode = %d, want 4", tp.NICsPerNode)
+	}
+	if tp.NIC(0) != tp.NIC(1) {
+		t.Error("GPUs 0 and 1 should share NIC 0")
+	}
+	if tp.NIC(1) == tp.NIC(2) {
+		t.Error("GPUs 1 and 2 should use different NICs")
+	}
+	if tp.NIC(8) != 4 {
+		t.Errorf("first NIC of node 1 = %d, want 4", tp.NIC(8))
+	}
+}
+
+func TestPathIntra(t *testing.T) {
+	tp := New(2, 8, A100())
+	p := tp.Path(1, 3)
+	if !p.Intra {
+		t.Fatal("1→3 should be intra-node")
+	}
+	if p.Alpha != tp.LatIntra {
+		t.Errorf("alpha = %v, want %v", p.Alpha, tp.LatIntra)
+	}
+	if len(p.CommLinks) != 1 || p.CommLinks[0] != tp.PairLink(1, 3) {
+		t.Errorf("intra comm link should be the pair channel, got %v", p.CommLinks)
+	}
+	if len(p.Resources) != 3 {
+		t.Errorf("intra path should occupy 3 resources, got %d", len(p.Resources))
+	}
+}
+
+func TestPathInter(t *testing.T) {
+	tp := New(2, 8, A100())
+	p := tp.Path(0, 9) // node 0 → node 1, same rack
+	if p.Intra {
+		t.Fatal("0→9 should be inter-node")
+	}
+	if p.Alpha != tp.LatInter {
+		t.Errorf("alpha = %v, want %v", p.Alpha, tp.LatInter)
+	}
+	if len(p.CommLinks) != 2 {
+		t.Fatalf("inter path should have 2 comm links, got %d", len(p.CommLinks))
+	}
+	if p.CommLinks[0] != tp.NICEgress(tp.NIC(0)) || p.CommLinks[1] != tp.NICIngress(tp.NIC(9)) {
+		t.Error("inter comm links should be the NIC queues")
+	}
+}
+
+func TestCrossRackLatency(t *testing.T) {
+	tp := New(4, 4, A100()) // racks {0,1} and {2,3}
+	same := tp.Path(0, 4)   // node 0 → node 1, same rack
+	cross := tp.Path(0, 8)  // node 0 → node 2, different rack
+	if cross.Alpha <= same.Alpha {
+		t.Errorf("cross-rack alpha %v should exceed same-rack %v", cross.Alpha, same.Alpha)
+	}
+}
+
+func TestCapacityAndKind(t *testing.T) {
+	tp := New(2, 4, A100())
+	if got := tp.Capacity(tp.EgressPort(0)); got != tp.NVLinkBW {
+		t.Errorf("egress capacity = %g, want %g", got, tp.NVLinkBW)
+	}
+	if got := tp.Capacity(tp.NICEgress(0)); got != tp.NICBW {
+		t.Errorf("NIC capacity = %g, want %g", got, tp.NICBW)
+	}
+	if got := tp.Capacity(tp.PairLink(0, 1)); got != tp.NVLinkBW {
+		t.Errorf("pair capacity = %g, want %g", got, tp.NVLinkBW)
+	}
+	if tp.Kind(tp.EgressPort(0)) != KindSwitchPort {
+		t.Error("egress port should be a switch port")
+	}
+	if tp.Kind(tp.NICEgress(0)) != KindSerialLink || tp.Kind(tp.PairLink(0, 1)) != KindSerialLink {
+		t.Error("NICs and pair channels should be serializing links")
+	}
+}
+
+func TestLinkWindow(t *testing.T) {
+	tp := New(2, 8, A100())
+	// One full-rate TB per link → window 1.
+	if w := tp.LinkWindow(tp.NICEgress(0), tp.TBCapInter); w != 1 {
+		t.Errorf("NIC window = %d, want 1", w)
+	}
+	// Quarter-rate TBs → window 4 (the Fig. 4 saturation point).
+	if w := tp.LinkWindow(tp.NICEgress(0), tp.NICBW/4); w != 4 {
+		t.Errorf("NIC window at quarter TBs = %d, want 4", w)
+	}
+	if w := tp.LinkWindow(tp.PairLink(0, 1), 0); w != 1 {
+		t.Errorf("window with zero cap = %d, want 1", w)
+	}
+}
+
+func TestResourceIDsDisjoint(t *testing.T) {
+	tp := New(2, 8, A100())
+	seen := map[ResourceID]string{}
+	add := func(id ResourceID, what string) {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("resource ID %d used by both %s and %s", id, prev, what)
+		}
+		seen[id] = what
+	}
+	for r := 0; r < tp.NRanks(); r++ {
+		add(tp.EgressPort(ir.Rank(r)), "egress")
+		add(tp.IngressPort(ir.Rank(r)), "ingress")
+	}
+	for n := 0; n < tp.NNodes*tp.NICsPerNode; n++ {
+		add(tp.NICEgress(n), "nic-eg")
+		add(tp.NICIngress(n), "nic-in")
+	}
+	for a := 0; a < tp.NRanks(); a++ {
+		for b := 0; b < tp.NRanks(); b++ {
+			add(tp.PairLink(ir.Rank(a), ir.Rank(b)), "pair")
+		}
+	}
+	for id := range seen {
+		if int(id) < 0 || int(id) >= tp.NResources() {
+			t.Fatalf("resource ID %d outside [0,%d)", id, tp.NResources())
+		}
+	}
+}
+
+func TestPathToSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Path(r,r) should panic")
+		}
+	}()
+	New(1, 2, A100()).Path(0, 0)
+}
+
+func TestOptions(t *testing.T) {
+	tp := New(2, 8, A100(), WithNICs(8), WithServersPerRack(1))
+	if tp.NICsPerNode != 8 {
+		t.Errorf("NICsPerNode = %d, want 8", tp.NICsPerNode)
+	}
+	if tp.Rack(0) == tp.Rack(1) {
+		t.Error("1 server per rack: nodes 0 and 1 should be in different racks")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, p := range []Profile{A100(), V100()} {
+		if p.LatInter < 2*p.LatIntra {
+			t.Errorf("%s: inter latency %v should be ≥ 2.5× intra %v (paper §4.3)", p.Name, p.LatInter, p.LatIntra)
+		}
+		if p.NVLinkBW <= p.NICBW {
+			t.Errorf("%s: NVLink should outrun the NIC", p.Name)
+		}
+		if p.Gamma <= 0 || p.InterpCost <= 0 || p.KernelLoad <= 0 {
+			t.Errorf("%s: cost-model constants must be positive", p.Name)
+		}
+	}
+}
+
+// Property: paths are symmetric in kind (intra/inter) and every path's
+// comm links are a subset of its resources.
+func TestPropertyPathWellFormed(t *testing.T) {
+	tp := New(3, 4, V100())
+	f := func(a, b uint8) bool {
+		src := ir.Rank(int(a) % tp.NRanks())
+		dst := ir.Rank(int(b) % tp.NRanks())
+		if src == dst {
+			return true
+		}
+		p := tp.Path(src, dst)
+		if p.Intra != tp.SameNode(src, dst) {
+			return false
+		}
+		for _, l := range p.CommLinks {
+			found := false
+			for _, r := range p.Resources {
+				if r == l {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return p.TBCap > 0 && p.Alpha > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribeResource(t *testing.T) {
+	tp := New(2, 4, A100())
+	cases := map[ResourceID]string{
+		tp.EgressPort(3):  "nv-egress(gpu3)",
+		tp.IngressPort(5): "nv-ingress(gpu5)",
+		tp.NICEgress(1):   "nic-egress(1)",
+		tp.NICIngress(2):  "nic-ingress(2)",
+		tp.PairLink(1, 6): "pair(1→6)",
+	}
+	for res, want := range cases {
+		if got := tp.DescribeResource(res); got != want {
+			t.Errorf("DescribeResource(%d) = %q, want %q", res, got, want)
+		}
+	}
+	if s := tp.String(); s == "" {
+		t.Error("empty topology String")
+	}
+}
+
+func TestNewPanicsOnBadDimensions(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 8, A100()) },
+		func() { New(2, 0, A100()) },
+		func() { New(2, 4, A100(), WithNICs(9)) },
+		func() { New(2, 4, A100(), WithServersPerRack(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid construction")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConnectionString(t *testing.T) {
+	c := Connection{Src: 2, Dst: 9}
+	if c.String() != "2→9" {
+		t.Errorf("Connection.String() = %q", c.String())
+	}
+}
+
+func TestSingleGPUPerNodeNIC(t *testing.T) {
+	// One GPU per node forces one NIC per node.
+	tp := New(4, 1, A100(), WithNICs(1))
+	for r := 0; r < 4; r++ {
+		if tp.NIC(ir.Rank(r)) != r {
+			t.Errorf("NIC(%d) = %d, want %d", r, tp.NIC(ir.Rank(r)), r)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package resccl_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/resccl/resccl"
+)
+
+func newComm(t *testing.T, kind resccl.BackendKind) *resccl.Communicator {
+	t.Helper()
+	tp := resccl.NewTopology(2, 4, resccl.A100())
+	c, err := resccl.NewCommunicator(tp, resccl.WithBackend(kind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCommunicatorCollectives(t *testing.T) {
+	comm := newComm(t, resccl.BackendResCCL)
+	if comm.NRanks() != 8 {
+		t.Fatalf("NRanks = %d, want 8", comm.NRanks())
+	}
+	for _, op := range []func(int64) (*resccl.Run, error){
+		comm.AllGather, comm.AllReduce, comm.ReduceScatter,
+	} {
+		run, err := op(256 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.AlgoBandwidth() <= 0 {
+			t.Errorf("%s: nonpositive bandwidth", run.Algorithm)
+		}
+		if run.Completion <= 0 {
+			t.Errorf("%s: nonpositive completion", run.Algorithm)
+		}
+		if run.MicroBatches() < 1 {
+			t.Errorf("%s: no micro-batches", run.Algorithm)
+		}
+		if u := run.LinkUtilization(); u <= 0 || u > 1.000001 {
+			t.Errorf("%s: link utilization %f out of range", run.Algorithm, u)
+		}
+	}
+}
+
+func TestBackendsOrdering(t *testing.T) {
+	// The headline claim, via the public API: ResCCL ≥ MSCCL and ≥ NCCL
+	// on a large AllReduce.
+	bw := map[resccl.BackendKind]float64{}
+	for _, k := range []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL} {
+		run, err := newComm(t, k).AllReduce(1 << 30)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		bw[k] = run.AlgoBandwidth()
+	}
+	if bw[resccl.BackendResCCL] <= bw[resccl.BackendMSCCL] {
+		t.Errorf("ResCCL (%.1f GB/s) not faster than MSCCL (%.1f GB/s)",
+			bw[resccl.BackendResCCL]/1e9, bw[resccl.BackendMSCCL]/1e9)
+	}
+	if bw[resccl.BackendResCCL] <= bw[resccl.BackendNCCL] {
+		t.Errorf("ResCCL (%.1f GB/s) not faster than NCCL (%.1f GB/s)",
+			bw[resccl.BackendResCCL]/1e9, bw[resccl.BackendNCCL]/1e9)
+	}
+}
+
+func TestResourceFootprint(t *testing.T) {
+	// ResCCL must occupy fewer TBs per GPU than MSCCL for the same
+	// algorithm (Table 3).
+	rs, err := newComm(t, resccl.BackendResCCL).AllReduce(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := newComm(t, resccl.BackendMSCCL).AllReduce(256 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Utilization().TBs >= ms.Utilization().TBs {
+		t.Errorf("ResCCL TBs/GPU (%d) not below MSCCL (%d)", rs.Utilization().TBs, ms.Utilization().TBs)
+	}
+	if rs.Utilization().AvgIdle >= ms.Utilization().AvgIdle {
+		t.Errorf("ResCCL avg idle (%f) not below MSCCL (%f)", rs.Utilization().AvgIdle, ms.Utilization().AvgIdle)
+	}
+}
+
+func TestCompileLangAndRun(t *testing.T) {
+	src := `
+def ResCCLAlgo(nRanks=8, AlgoName="Ring", OpType="Allgather"):
+    N = 8
+    for r in range(0, N):
+        peer = (r+1)%N
+        for step in range(0, N-1):
+            transfer(r, peer, step, (r-step)%N, recv)
+`
+	algo, err := resccl.CompileLang(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resccl.Verify(algo); err != nil {
+		t.Fatal(err)
+	}
+	comm := newComm(t, resccl.BackendResCCL)
+	run, err := comm.RunAlgorithm(algo, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Algorithm != "Ring" {
+		t.Errorf("algorithm name %q, want Ring", run.Algorithm)
+	}
+	// Plan caching: a second run must reuse the compiled plan and be
+	// deterministic.
+	run2, err := comm.RunAlgorithm(algo, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Completion != run2.Completion {
+		t.Errorf("nondeterministic: %v vs %v", run.Completion, run2.Completion)
+	}
+}
+
+func TestAlgorithmsCatalog(t *testing.T) {
+	if _, err := resccl.Algorithms.HMAllReduce(2, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := resccl.Algorithms.TreeAllReduce(16); err != nil {
+		t.Error(err)
+	}
+	a, err := resccl.Algorithms.RingReduceScatter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resccl.Verify(a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicTraining(t *testing.T) {
+	cfg := resccl.TrainConfig{
+		Model:       resccl.ModelT5_220M,
+		GlobalBatch: 16,
+		TP:          1, DP: 8,
+		NNodes: 2, GPN: 4,
+	}
+	res, err := resccl.SimulateTraining(cfg, resccl.BackendResCCL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("nonpositive throughput")
+	}
+	if _, err := resccl.SimulateTraining(cfg, resccl.BackendKind(42)); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("expected unknown-backend error, got %v", err)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if _, err := resccl.NewCommunicator(nil); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := resccl.NewCommunicator(resccl.NewTopology(1, 4, resccl.A100()), resccl.WithBackend(resccl.BackendKind(9))); err == nil {
+		t.Error("unknown backend should fail")
+	}
+	comm := newComm(t, resccl.BackendResCCL)
+	if _, err := comm.AllReduce(0); err == nil {
+		t.Error("zero buffer should fail")
+	}
+	if _, err := resccl.CompileLang("not a program"); err == nil {
+		t.Error("bad DSL should fail")
+	}
+}
+
+func TestExecuteAlgorithmConcurrently(t *testing.T) {
+	comm := newComm(t, resccl.BackendResCCL)
+	algo, err := resccl.Algorithms.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comm.ExecuteAlgorithm(algo, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitLangRoundTrip(t *testing.T) {
+	algo, err := resccl.Algorithms.RingAllGather(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := resccl.EmitLang(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := resccl.CompileLang(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resccl.Verify(back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastAllBackends(t *testing.T) {
+	for _, k := range []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL} {
+		run, err := newComm(t, k).Broadcast(128 << 20)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if run.AlgoBandwidth() <= 0 {
+			t.Errorf("%v: nonpositive broadcast bandwidth", k)
+		}
+	}
+}
+
+func TestAllToAllBackends(t *testing.T) {
+	for _, k := range []resccl.BackendKind{resccl.BackendNCCL, resccl.BackendMSCCL, resccl.BackendResCCL} {
+		run, err := newComm(t, k).AllToAll(128 << 20)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if run.AlgoBandwidth() <= 0 {
+			t.Errorf("%v: nonpositive alltoall bandwidth", k)
+		}
+	}
+}
+
+func TestH100Topology(t *testing.T) {
+	tp := resccl.NewTopology(2, 8, resccl.H100())
+	comm, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := comm.AllReduce(512 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H100's 2× faster NICs must beat A100 on the NIC-bound AllReduce.
+	a100, err := resccl.NewCommunicator(resccl.NewTopology(2, 8, resccl.A100()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runA, err := a100.AllReduce(512 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.AlgoBandwidth() <= runA.AlgoBandwidth() {
+		t.Errorf("H100 (%.1f GB/s) should beat A100 (%.1f GB/s)",
+			run.AlgoBandwidth()/1e9, runA.AlgoBandwidth()/1e9)
+	}
+}
+
+func TestRunConcurrently(t *testing.T) {
+	comm := newComm(t, resccl.BackendResCCL)
+	ar, err := resccl.Algorithms.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := resccl.Algorithms.HMAllGather(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := comm.RunAlgorithm(ar, 128<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := comm.RunConcurrently(
+		[]*resccl.Algorithm{ar, ag},
+		[]int64{128 << 20, 128 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[0].Completion <= solo.Completion {
+		t.Errorf("AllReduce under contention (%v) should be slower than solo (%v)",
+			runs[0].Completion, solo.Completion)
+	}
+	if _, err := comm.RunConcurrently(nil, nil); err == nil {
+		t.Error("empty concurrent run should fail")
+	}
+}
+
+func TestEmbedAlgorithmGroups(t *testing.T) {
+	ring, err := resccl.Algorithms.RingAllReduce(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, err := resccl.EmbedAlgorithm(ring, []resccl.Rank{1, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resccl.Verify(grp); err != nil {
+		t.Fatal(err)
+	}
+	comm := newComm(t, resccl.BackendResCCL)
+	if _, err := comm.RunAlgorithm(grp, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogStepAlgorithmsRun(t *testing.T) {
+	comm := newComm(t, resccl.BackendResCCL)
+	bruck, err := resccl.Algorithms.BruckAllGather(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhd, err := resccl.Algorithms.RHDAllReduce(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringAG, err := resccl.Algorithms.RingAllGather(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both log-step algorithms must compile and run. (Their real-world
+	// latency advantage comes from aggregating a round's chunks into one
+	// message, which the chunk-granular model intentionally does not
+	// coalesce, so no ordering against the ring is asserted here.)
+	for _, algo := range []*resccl.Algorithm{bruck, rhd} {
+		run, err := comm.RunAlgorithm(algo, 64<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name, err)
+		}
+		if run.AlgoBandwidth() <= 0 {
+			t.Errorf("%s: nonpositive bandwidth", algo.Name)
+		}
+	}
+	if _, err := comm.RunAlgorithm(ringAG, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoTunedChunks(t *testing.T) {
+	tp := resccl.NewTopology(2, 8, resccl.A100())
+	def, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := resccl.NewCommunicator(tp, resccl.WithAutoTunedChunks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := def.AllReduce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tuned.AllReduce(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AlgoBandwidth() < d.AlgoBandwidth() {
+		t.Errorf("auto-tuned chunks (%.1f GB/s) should not lose to the default (%.1f GB/s)",
+			a.AlgoBandwidth()/1e9, d.AlgoBandwidth()/1e9)
+	}
+}
