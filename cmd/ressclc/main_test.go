@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles this command into a temp dir and returns the binary
+// path.
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ressclc")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeCompile runs the compiler end to end on the shipped ring
+// AllReduce program: exit 0, non-empty report, correctness verified.
+func TestSmokeCompile(t *testing.T) {
+	bin := buildCmd(t)
+	src := filepath.Join("..", "..", "examples", "algorithms", "ring-allreduce.rcl")
+	out, err := exec.Command(bin, "-in", src, "-nodes", "1", "-gpus", "8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ressclc failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if len(strings.TrimSpace(s)) == 0 {
+		t.Fatal("empty output")
+	}
+	for _, want := range []string{"Ring-AR", "verified", "schedule:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSmokeSimulateAndExecute exercises the -simulate and -execute
+// paths, which drive the simulator and the data-plane runtime.
+func TestSmokeSimulateAndExecute(t *testing.T) {
+	bin := buildCmd(t)
+	src := filepath.Join("..", "..", "examples", "algorithms", "ring-allreduce.rcl")
+	out, err := exec.Command(bin, "-in", src, "-nodes", "1", "-gpus", "8",
+		"-simulate", "16MiB", "-execute", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ressclc failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "simulation") && !strings.Contains(string(out), "completion") {
+		t.Fatalf("no simulation output:\n%s", out)
+	}
+}
+
+// TestSmokePlanRoundTrip saves a plan file and loads it back.
+func TestSmokePlanRoundTrip(t *testing.T) {
+	bin := buildCmd(t)
+	src := filepath.Join("..", "..", "examples", "algorithms", "ring-allreduce.rcl")
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if out, err := exec.Command(bin, "-in", src, "-nodes", "1", "-gpus", "8", "-out", plan).CombinedOutput(); err != nil {
+		t.Fatalf("save: %v\n%s", err, out)
+	}
+	if fi, err := os.Stat(plan); err != nil || fi.Size() == 0 {
+		t.Fatalf("plan file missing or empty: %v", err)
+	}
+	out, err := exec.Command(bin, "-plan", plan, "-simulate", "16MiB").CombinedOutput()
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) == 0 {
+		t.Fatal("empty output from loaded plan")
+	}
+}

@@ -37,6 +37,8 @@ func main() {
 		dp    = flag.Int("dp", 0, "data-parallel width (default: fills remaining GPUs)")
 		batch = flag.Int("batch", 16, "global batch size")
 		bk    = flag.String("backend", "all", "backend: resccl, nccl, msccl or all")
+		frate = flag.Int("fault-rate", 0, "inject N seeded fault events per collective (0 = none)")
+		fseed = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	)
 	flag.Parse()
 
@@ -63,6 +65,7 @@ func main() {
 	cfg := train.Config{
 		Model: m, GlobalBatch: *batch,
 		TP: width, DP: depth, NNodes: *nodes, GPN: *gpus,
+		FaultRate: *frate, FaultSeed: *fseed,
 	}
 
 	var bks []backend.Backend
@@ -79,7 +82,11 @@ func main() {
 		fatal(fmt.Errorf("unknown backend %q", *bk))
 	}
 
-	fmt.Printf("%s on %d×%d GPUs, TP=%d DP=%d, batch %d\n\n", m.Name, *nodes, *gpus, width, depth, *batch)
+	fmt.Printf("%s on %d×%d GPUs, TP=%d DP=%d, batch %d", m.Name, *nodes, *gpus, width, depth, *batch)
+	if *frate > 0 {
+		fmt.Printf(", %d fault events/collective (seed %d)", *frate, *fseed)
+	}
+	fmt.Printf("\n\n")
 	fmt.Printf("%-8s %11s %12s %12s %12s %9s %8s %12s\n",
 		"backend", "iter (ms)", "compute (ms)", "tp-comm (ms)", "dp-comm (ms)", "sm (ms)", "TB/GPU", "samples/s")
 	for _, b := range bks {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildCmd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ressclsim")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeTrain runs a small training simulation end to end: exit 0
+// and one result row per backend.
+func TestSmokeTrain(t *testing.T) {
+	bin := buildCmd(t)
+	out, err := exec.Command(bin, "-model", "t5-220m", "-nodes", "2", "-gpus", "2",
+		"-dp", "4", "-batch", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ressclsim failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"T5-220M", "NCCL", "MSCCL", "ResCCL", "samples/s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestSmokeTrainFaulted sweeps the fault-rate flag: the faulted
+// iteration must succeed, mention the injection, and be no faster than
+// the clean one.
+func TestSmokeTrainFaulted(t *testing.T) {
+	bin := buildCmd(t)
+	args := []string{"-model", "t5-220m", "-nodes", "2", "-gpus", "2",
+		"-dp", "4", "-batch", "4", "-backend", "resccl"}
+	clean, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("clean run failed: %v\n%s", err, clean)
+	}
+	faulted, err := exec.Command(bin, append(args, "-fault-rate", "6", "-fault-seed", "3")...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("faulted run failed: %v\n%s", err, faulted)
+	}
+	if !strings.Contains(string(faulted), "fault events") {
+		t.Fatalf("faulted run does not report injection:\n%s", faulted)
+	}
+	cleanTP := lastSamplesPerSec(t, string(clean))
+	faultTP := lastSamplesPerSec(t, string(faulted))
+	if faultTP > cleanTP*1.001 {
+		t.Fatalf("faults sped training up: %v vs clean %v", faultTP, cleanTP)
+	}
+}
+
+// lastSamplesPerSec parses the final column of the last result row.
+func lastSamplesPerSec(t *testing.T, out string) float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	fields := strings.Fields(lines[len(lines)-1])
+	if len(fields) == 0 {
+		t.Fatalf("no result row in output:\n%s", out)
+	}
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("cannot parse throughput from %q: %v", fields[len(fields)-1], err)
+	}
+	return v
+}

@@ -129,6 +129,7 @@ func Registry() []Experiment {
 		{"fig12", "Per-TB time breakdown: sync vs execution, release saving", Figure12},
 		{"fig13", "End-to-end Megatron training throughput (GPT-3, T5)", Figure13},
 		{"ablation", "Design-choice ablations (granularity, allocation, scheduling policy, chunk size)", Ablations},
+		{"faulted", "Goodput under injected faults and runtime recovery (dynamic interference)", Faulted},
 	}
 }
 

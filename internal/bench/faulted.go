@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/rt"
+	"github.com/resccl/resccl/internal/sim"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Faulted is the dynamic-interference companion to the §4.4 static
+// contention ablation: instead of a fixed congestion map, a seeded
+// fault.Schedule injects link degradations, outages, NIC flaps and
+// straggler TBs while the collective runs, and the harness reports each
+// backend's goodput as the event count (the fault rate) grows. A second
+// table exercises the runtime's recovery protocol: sends crossing
+// downed links retry with backoff and degrade their sub-pipeline when
+// the budget runs out, and the result must still verify.
+func Faulted(opts Options) ([]*Table, error) {
+	tp := topo.New(2, 8, topo.A100())
+	buf := int64(256 << 20)
+	rates := []int{0, 4, 8, 16}
+	if opts.Quick {
+		buf = 64 << 20
+		rates = []int{0, 4, 8}
+	}
+	algo, err := expertAR(2, 8)
+	if err != nil {
+		return nil, err
+	}
+
+	goodput, err := faultSweep(tp, algo, buf, rates)
+	if err != nil {
+		return nil, err
+	}
+	recovery, err := recoveryTable()
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{goodput, recovery}, nil
+}
+
+// faultSweep runs every backend's plan under seeded schedules of
+// growing event count. The horizon is each plan's own clean completion
+// time, so a rate of N means N events land while the collective runs.
+func faultSweep(tp *topo.Topology, algo *ir.Algorithm, buf int64, rates []int) (*Table, error) {
+	t := &Table{
+		ID:    "faulted",
+		Title: "Goodput under injected faults (HM AllReduce, 2×8, GB/s)",
+		Notes: []string{
+			"seeded schedules: 40% link degradations, 30% link-down windows, 15% NIC flaps, 15% straggler TBs, landing within each plan's clean completion window",
+		},
+	}
+	t.Header = append(t.Header, "Backend")
+	for _, r := range rates {
+		t.Header = append(t.Header, fmt.Sprintf("%d events", r))
+	}
+	for _, b := range backends() {
+		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+		if err != nil {
+			return nil, err
+		}
+		clean, err := runPlan(tp, plan, buf, defaultChunk)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{b.Name()}
+		for _, n := range rates {
+			sched := FaultSchedule(tp, 7, n, clean.Completion, len(plan.Kernel.TBs))
+			res, err := sim.Run(sim.Config{
+				Topo: tp, Kernel: plan.Kernel,
+				BufferBytes: buf, ChunkBytes: defaultChunk,
+				Faults: sched,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s n=%d: %w", b.Name(), n, err)
+			}
+			row = append(row, gb(res.AlgoBW))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// recoveryTable drives the data-plane runtime under an outage on one
+// NIC and reports the recovery protocol's actions.
+func recoveryTable() (*Table, error) {
+	t := &Table{
+		ID:     "faulted",
+		Title:  "Runtime recovery under a NIC outage (ResCCL kernel, 2×2, 4 micro-batches)",
+		Header: []string{"Scenario", "retries", "recovered", "degraded", "subs degraded", "verified"},
+		Notes: []string{
+			"an outage longer than the retry budget forces the affected sub-pipeline from pipelined to sequential execution; the collective still completes and verifies",
+		},
+	}
+	tp := topo.New(2, 2, topo.A100())
+	algo, err := expertAR(2, 2)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		return nil, err
+	}
+	eg, in := tp.NICResources(0)
+	scenarios := []struct {
+		label string
+		ev    fault.Event
+	}{
+		{"short outage (retry wins)", fault.Event{Kind: fault.KindLinkDown, Start: 0, Duration: 1e-3,
+			Resources: []topo.ResourceID{eg, in}, Attempts: 2}},
+		{"long outage (degrade)", fault.Event{Kind: fault.KindLinkDown, Start: 0, Duration: 1e-2,
+			Resources: []topo.ResourceID{eg, in}, Attempts: 6}},
+	}
+	for _, sc := range scenarios {
+		res, err := rt.Execute(rt.Config{
+			Kernel:       plan.Kernel,
+			MicroBatches: 4,
+			Faults:       &fault.Schedule{Events: []fault.Event{sc.ev}},
+			Recovery:     rt.RecoveryPolicy{MaxRetries: 3, Backoff: 50 * time.Microsecond},
+		})
+		if err != nil {
+			return nil, err
+		}
+		verified := "yes"
+		if err := res.Verify(); err != nil {
+			verified = "NO: " + err.Error()
+		}
+		retries, recovered, degraded := 0, 0, 0
+		for _, a := range res.Recovery {
+			switch a.Kind {
+			case rt.ActionRetry:
+				retries++
+			case rt.ActionRecovered:
+				recovered++
+			case rt.ActionDegrade:
+				degraded++
+			}
+		}
+		t.AddRow(sc.label, fmt.Sprint(retries), fmt.Sprint(recovered),
+			fmt.Sprint(degraded), fmt.Sprint(res.DegradedSubs), verified)
+	}
+	return t, nil
+}
+
+// FaultSchedule builds the seeded schedule the sweep and the ressclsim
+// CLI share: n events landing within the given horizon, straggler
+// targets drawn from nTBs thread blocks.
+func FaultSchedule(tp *topo.Topology, seed int64, n int, horizon float64, nTBs int) *fault.Schedule {
+	return fault.Generate(tp, fault.Params{
+		Seed:         seed,
+		N:            n,
+		Horizon:      horizon,
+		MeanDuration: horizon / 8,
+		NTBs:         nTBs,
+	})
+}

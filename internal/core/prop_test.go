@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/sched"
+	"github.com/resccl/resccl/internal/sim"
+	"github.com/resccl/resccl/internal/talloc"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Property sweep: seeded random small cluster shapes × all three
+// scheduling policies × every applicable collective builder. Each
+// combination must (a) pass the schedule, allocation and data-plane
+// correctness gates, and (b) simulate deterministically — identical
+// completion across two runs, both clean and under a non-empty seeded
+// fault schedule.
+
+// propCase is one collective builder applicable to a shape.
+type propCase struct {
+	name string
+	algo *ir.Algorithm
+}
+
+func propCollectives(t *testing.T, nNodes, gpn int) []propCase {
+	t.Helper()
+	nRanks := nNodes * gpn
+	type builder struct {
+		name string
+		fn   func() (*ir.Algorithm, error)
+		ok   bool
+	}
+	builders := []builder{
+		{"ring-allgather", func() (*ir.Algorithm, error) { return expert.RingAllGather(nRanks) }, nRanks >= 2},
+		{"ring-allreduce", func() (*ir.Algorithm, error) { return expert.RingAllReduce(nRanks) }, nRanks >= 2},
+		{"ring-reducescatter", func() (*ir.Algorithm, error) { return expert.RingReduceScatter(nRanks) }, nRanks >= 2},
+		{"mesh-allreduce", func() (*ir.Algorithm, error) { return expert.MeshAllReduce(gpn) }, nNodes == 1 && gpn >= 2},
+		{"mesh-allgather", func() (*ir.Algorithm, error) { return expert.MeshAllGather(gpn) }, nNodes == 1 && gpn >= 2},
+		{"hm-allgather", func() (*ir.Algorithm, error) { return expert.HMAllGather(nNodes, gpn) }, nNodes >= 2},
+		{"hm-allreduce", func() (*ir.Algorithm, error) { return expert.HMAllReduce(nNodes, gpn) }, nNodes >= 2},
+		{"hm-reducescatter", func() (*ir.Algorithm, error) { return expert.HMReduceScatter(nNodes, gpn) }, nNodes >= 2},
+		{"tree-allreduce", func() (*ir.Algorithm, error) { return expert.TreeAllReduce(nRanks) }, nRanks >= 2},
+		{"binomial-broadcast", func() (*ir.Algorithm, error) { return expert.BinomialBroadcast(nRanks) }, nRanks >= 2},
+		{"direct-alltoall", func() (*ir.Algorithm, error) { return expert.DirectAllToAll(nRanks) }, nRanks >= 2},
+		{"bruck-allgather", func() (*ir.Algorithm, error) { return expert.BruckAllGather(nRanks) }, nRanks >= 2},
+	}
+	var out []propCase
+	for _, b := range builders {
+		if !b.ok {
+			continue
+		}
+		algo, err := b.fn()
+		if err != nil {
+			t.Fatalf("%s on %d×%d: %v", b.name, nNodes, gpn, err)
+		}
+		out = append(out, propCase{b.name, algo})
+	}
+	return out
+}
+
+func TestPropertySweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	policies := []sched.Policy{sched.PolicyHPDS, sched.PolicyRR, sched.PolicySequential}
+
+	// Seeded random shapes: 1–2 nodes, 2–4 GPUs per node, plus the two
+	// corners every run must cover.
+	shapes := [][2]int{{1, 2}, {2, 4}}
+	for len(shapes) < 6 {
+		s := [2]int{1 + rng.Intn(2), 2 + rng.Intn(3)}
+		shapes = append(shapes, s)
+	}
+
+	for _, shape := range shapes {
+		nNodes, gpn := shape[0], shape[1]
+		tp := topo.New(nNodes, gpn, topo.A100())
+		for _, pc := range propCollectives(t, nNodes, gpn) {
+			for _, pol := range policies {
+				name := fmt.Sprintf("%dx%d/%s/%s", nNodes, gpn, pc.name, pol)
+				t.Run(name, func(t *testing.T) {
+					if err := collective.Check(pc.algo); err != nil {
+						t.Fatalf("collective gate: %v", err)
+					}
+					c, err := Compile(pc.algo, tp, Options{Policy: pol})
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					if err := sched.Validate(c.Graph, c.Pipeline); err != nil {
+						t.Fatalf("sched.Validate: %v", err)
+					}
+					if err := talloc.Validate(c.Graph, c.Assignment); err != nil {
+						t.Fatalf("talloc.Validate: %v", err)
+					}
+					cfg := sim.Config{Topo: tp, Kernel: c.Kernel, BufferBytes: 2 << 20, ChunkBytes: 256 << 10}
+					a := mustRun(t, cfg)
+					b := mustRun(t, cfg)
+					if a.Completion != b.Completion {
+						t.Fatalf("clean runs differ: %v vs %v", a.Completion, b.Completion)
+					}
+					// Determinism must survive a non-empty fault schedule.
+					cfg.Faults = fault.Generate(tp, fault.Params{
+						Seed: 77, N: 6, Horizon: a.Completion,
+						MeanDuration: a.Completion / 4, NTBs: len(c.Kernel.TBs),
+					})
+					fa := mustRun(t, cfg)
+					fb := mustRun(t, cfg)
+					if fa.Completion != fb.Completion {
+						t.Fatalf("faulted runs differ: %v vs %v", fa.Completion, fb.Completion)
+					}
+				})
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -86,6 +86,8 @@ type planFile struct {
 	SendTB    []int    `json:"sendTB"`
 	RecvTB    []int    `json:"recvTB"`
 	LinkPreds [][]int  `json:"linkPreds,omitempty"`
+	TaskSub   []int    `json:"taskSub,omitempty"`
+	TaskPos   []int    `json:"taskPos,omitempty"`
 }
 
 // Save serializes a validated kernel and its topology as JSON.
@@ -126,8 +128,10 @@ func Save(k *Kernel, t *topo.Topology, w io.Writer) error {
 			NChannels: algo.NChannels,
 			NWarps:    algo.NWarps,
 		},
-		SendTB: k.SendTB,
-		RecvTB: k.RecvTB,
+		SendTB:  k.SendTB,
+		RecvTB:  k.RecvTB,
+		TaskSub: k.TaskSub,
+		TaskPos: k.TaskPos,
 	}
 	for _, s := range algo.StageBounds {
 		pf.Algorithm.StageBounds = append(pf.Algorithm.StageBounds, int(s))
@@ -228,6 +232,8 @@ func Load(r io.Reader) (*Kernel, *topo.Topology, error) {
 		SendTB:    pf.SendTB,
 		RecvTB:    pf.RecvTB,
 		LinkPreds: make([][]ir.TaskID, len(g.Tasks)),
+		TaskSub:   pf.TaskSub,
+		TaskPos:   pf.TaskPos,
 	}
 	for i, row := range pf.LinkPreds {
 		if i >= len(k.LinkPreds) {

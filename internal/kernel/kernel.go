@@ -112,6 +112,12 @@ type Kernel struct {
 	// i−1. Stage-level and task-level kernels pipeline across
 	// micro-batches and leave this false.
 	MBBarrier bool
+
+	// TaskSub[t] / TaskPos[t] echo the schedule's sub-pipeline index and
+	// global pipeline position of task t, so the runtime can degrade
+	// (serialize) one sub-pipeline without consulting the schedule. Nil
+	// for baseline kernels, which have no sub-pipeline structure.
+	TaskSub, TaskPos []int
 }
 
 // NTBs returns the number of thread blocks in the plan.
@@ -158,6 +164,8 @@ func Generate(p *sched.Pipeline, a *talloc.Assignment) (*Kernel, error) {
 		SendTB:    append([]int(nil), a.SendTB...),
 		RecvTB:    append([]int(nil), a.RecvTB...),
 		LinkPreds: make([][]ir.TaskID, len(g.Tasks)),
+		TaskSub:   append([]int(nil), p.TaskSub...),
+		TaskPos:   append([]int(nil), p.TaskPos...),
 	}
 	k.TBs = make([]*TBProgram, len(a.TBs))
 	for i, tb := range a.TBs {

@@ -1,6 +1,38 @@
 package lang
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// exampleSeeds loads every shipped .rcl program as a fuzz seed, so the
+// corpus always covers the constructs real algorithms use.
+func exampleSeeds(f *testing.F) []string {
+	f.Helper()
+	dir := filepath.Join("..", "..", "examples", "algorithms")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("reading example corpus: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".rcl") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		out = append(out, string(src))
+	}
+	if len(out) == 0 {
+		f.Fatalf("no .rcl examples found in %s", dir)
+	}
+	return out
+}
 
 // FuzzCompile feeds arbitrary source through the full front end: the
 // invariant is that Compile either returns an error or a structurally
@@ -8,6 +40,9 @@ import "testing"
 func FuzzCompile(f *testing.F) {
 	f.Add(ringSrc)
 	f.Add(hmSrc)
+	for _, src := range exampleSeeds(f) {
+		f.Add(src)
+	}
 	f.Add("def ResCCLAlgo(nRanks=2, OpType=\"Allgather\"):\n    transfer(0, 1, 0, 0, recv)\n")
 	f.Add("def ResCCLAlgo(nRanks=2, OpType=\"Allreduce\"):\n    for i in range(0, 1):\n        transfer(i, 1-i, 0, i, rrc)\n")
 	f.Add("def ResCCLAlgo(")
@@ -19,6 +54,41 @@ func FuzzCompile(f *testing.F) {
 			if verr := algo.Validate(); verr != nil {
 				t.Fatalf("Compile returned invalid algorithm: %v", verr)
 			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks parse → emit → parse: whenever source compiles
+// to an emittable algorithm, recompiling the emitted program must give
+// back the same header and transfer multiset.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(ringSrc)
+	f.Add(hmSrc)
+	for _, src := range exampleSeeds(f) {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		algo, err := Compile(src)
+		if err != nil {
+			return
+		}
+		emitted, err := Emit(algo)
+		if err != nil {
+			// Compile can produce algorithms outside ResCCLang's fixed
+			// chunk convention; Emit refusing them is not a round-trip
+			// failure.
+			return
+		}
+		back, err := Compile(emitted)
+		if err != nil {
+			t.Fatalf("emitted program does not compile: %v\n%s", err, emitted)
+		}
+		if back.Name != algo.Name || back.Op != algo.Op ||
+			back.NRanks != algo.NRanks || back.NChunks != algo.NChunks {
+			t.Fatalf("round-trip changed header: %+v vs %+v", back, algo)
+		}
+		if !reflect.DeepEqual(back.Sorted(), algo.Sorted()) {
+			t.Fatalf("round-trip changed transfers:\n%v\nvs\n%v", back.Sorted(), algo.Sorted())
 		}
 	})
 }

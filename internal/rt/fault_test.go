@@ -1,0 +1,188 @@
+package rt
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// twoNodePlan compiles a 2×2 HM AllReduce on the ResCCL backend — the
+// smallest shape where NIC queues are the only inter-node path.
+func twoNodePlan(t *testing.T) (*topo.Topology, *backend.Plan) {
+	t.Helper()
+	tp := topo.New(2, 2, topo.A100())
+	algo, err := expert.HMAllReduce(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp, plan
+}
+
+func nicOutage(tp *topo.Topology, attempts int) *fault.Schedule {
+	eg, in := tp.NICResources(0)
+	return &fault.Schedule{Events: []fault.Event{{
+		Kind: fault.KindLinkDown, Start: 0, Duration: 1e-3,
+		Resources: []topo.ResourceID{eg, in}, Attempts: attempts,
+	}}}
+}
+
+var fastRecovery = RecoveryPolicy{MaxRetries: 3, Backoff: 10 * time.Microsecond}
+
+// TestRetryThenDegrade: an outage outlasting the retry budget on the
+// only inter-node path must surface degrade actions and a degraded
+// sub-pipeline, and the collective must still complete and verify.
+func TestRetryThenDegrade(t *testing.T) {
+	tp, plan := twoNodePlan(t)
+	res, err := Execute(Config{
+		Kernel:       plan.Kernel,
+		MicroBatches: 2,
+		Faults:       nicOutage(tp, fastRecovery.MaxRetries+2),
+		Recovery:     fastRecovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("degraded execution produced wrong data: %v", err)
+	}
+	var retries, degrades, recovered int
+	for _, a := range res.Recovery {
+		switch a.Kind {
+		case ActionRetry:
+			retries++
+			if a.Attempt < 1 || a.Attempt > fastRecovery.MaxRetries {
+				t.Fatalf("retry attempt out of range: %+v", a)
+			}
+		case ActionDegrade:
+			degrades++
+		case ActionRecovered:
+			recovered++
+		}
+	}
+	if retries == 0 || degrades == 0 {
+		t.Fatalf("outage beyond budget produced retries=%d degrades=%d: %+v", retries, degrades, res.Recovery)
+	}
+	if recovered != 0 {
+		t.Fatalf("nothing should recover within budget, got %d recovered", recovered)
+	}
+	if len(res.DegradedSubs) == 0 {
+		t.Fatalf("no sub-pipeline degraded despite exhausted retries")
+	}
+}
+
+// TestRetrySucceedsWithinBudget: a short outage must be absorbed by the
+// retry loop — recovered actions, no degradation.
+func TestRetrySucceedsWithinBudget(t *testing.T) {
+	tp, plan := twoNodePlan(t)
+	res, err := Execute(Config{
+		Kernel:       plan.Kernel,
+		MicroBatches: 2,
+		Faults:       nicOutage(tp, fastRecovery.MaxRetries-1),
+		Recovery:     fastRecovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	var degrades, recovered int
+	for _, a := range res.Recovery {
+		switch a.Kind {
+		case ActionDegrade:
+			degrades++
+		case ActionRecovered:
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatalf("short outage recorded no recoveries: %+v", res.Recovery)
+	}
+	if degrades != 0 || len(res.DegradedSubs) != 0 {
+		t.Fatalf("short outage degraded the pipeline: %d degrades, subs %v", degrades, res.DegradedSubs)
+	}
+}
+
+// TestRecoveryLogDeterministic: the sorted action log and degraded-sub
+// set must be identical across runs despite goroutine interleaving.
+func TestRecoveryLogDeterministic(t *testing.T) {
+	tp, plan := twoNodePlan(t)
+	cfg := Config{
+		Kernel:       plan.Kernel,
+		MicroBatches: 3,
+		Faults:       nicOutage(tp, fastRecovery.MaxRetries+3),
+		Recovery:     fastRecovery,
+	}
+	a, err := Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Recovery, b.Recovery) {
+		t.Fatalf("recovery logs differ across runs:\n%+v\nvs\n%+v", a.Recovery, b.Recovery)
+	}
+	if !reflect.DeepEqual(a.DegradedSubs, b.DegradedSubs) {
+		t.Fatalf("degraded subs differ: %v vs %v", a.DegradedSubs, b.DegradedSubs)
+	}
+}
+
+// TestNoFaultsNoRecovery: without a schedule the log must stay empty
+// and execution must be unaffected.
+func TestNoFaultsNoRecovery(t *testing.T) {
+	_, plan := twoNodePlan(t)
+	res, err := Execute(Config{Kernel: plan.Kernel, MicroBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovery) != 0 || len(res.DegradedSubs) != 0 {
+		t.Fatalf("fault-free run produced recovery state: %+v %v", res.Recovery, res.DegradedSubs)
+	}
+}
+
+// TestFaultOffPath: an outage on a NIC no task crosses (single-node
+// plan) must leave the run untouched.
+func TestFaultOffPath(t *testing.T) {
+	tp := topo.New(1, 4, topo.A100())
+	algo, err := expert.MeshAllReduce(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg, in := tp.NICResources(0)
+	res, err := Execute(Config{
+		Kernel:       plan.Kernel,
+		MicroBatches: 2,
+		Faults: &fault.Schedule{Events: []fault.Event{{
+			Kind: fault.KindLinkDown, Start: 0, Duration: 1e-3,
+			Resources: []topo.ResourceID{eg, in}, Attempts: 9,
+		}}},
+		Recovery: fastRecovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovery) != 0 {
+		t.Fatalf("outage off every path still produced actions: %+v", res.Recovery)
+	}
+}

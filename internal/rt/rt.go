@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
 )
@@ -36,6 +37,12 @@ type Config struct {
 	MicroBatches int
 	// Watchdog overrides the deadlock timeout (default DefaultWatchdog).
 	Watchdog time.Duration
+	// Faults injects a fault schedule: every down window crossing a
+	// task's path makes that task's send attempts fail (recover.go),
+	// exercising retry and graceful degradation. Nil injects nothing.
+	Faults *fault.Schedule
+	// Recovery bounds the retry protocol; zero values take defaults.
+	Recovery RecoveryPolicy
 }
 
 // Result reports one execution.
@@ -47,6 +54,12 @@ type Result struct {
 	Instances int
 	// Elapsed is wall time (host time, not simulated time).
 	Elapsed time.Duration
+	// Recovery is the canonical (sorted) log of retry/degrade actions
+	// taken under the injected fault schedule; empty without faults.
+	Recovery []RecoveryAction
+	// DegradedSubs lists sub-pipelines that fell back from pipelined to
+	// sequential execution, sorted.
+	DegradedSubs []int
 }
 
 // Verify checks every micro-batch's final state against the operator's
@@ -76,14 +89,21 @@ func Execute(cfg Config) (*Result, error) {
 		watchdog = DefaultWatchdog
 	}
 	ex := newExecutor(cfg.Kernel, n)
+	ex.policy = cfg.Recovery.withDefaults()
+	if !cfg.Faults.Empty() {
+		buildFailCounts(ex, cfg.Faults)
+		buildSubPrev(ex)
+	}
 	start := time.Now()
 	if err := ex.run(watchdog); err != nil {
 		return nil, err
 	}
 	return &Result{
-		States:    ex.states,
-		Instances: int(ex.completed.Load()),
-		Elapsed:   time.Since(start),
+		States:       ex.states,
+		Instances:    int(ex.completed.Load()),
+		Elapsed:      time.Since(start),
+		Recovery:     ex.sortedRecovery(),
+		DegradedSubs: ex.degradedSubs(),
 	}, nil
 }
 
@@ -112,6 +132,15 @@ type executor struct {
 	errOnce   sync.Once
 	err       error
 	abort     chan struct{}
+
+	// Recovery state (recover.go). failN is nil without faults; subPrev
+	// is nil when the kernel carries no sub-pipeline structure.
+	policy   RecoveryPolicy
+	failN    []int
+	subPrev  []ir.TaskID
+	recMu    sync.Mutex
+	recovery []RecoveryAction
+	degraded map[int]bool
 }
 
 func newExecutor(k *kernel.Kernel, n int) *executor {
@@ -221,6 +250,22 @@ func (ex *executor) execInstr(prim ir.Primitive, mb int) bool {
 
 	switch prim.Kind {
 	case ir.PrimSend:
+		// Degraded sub-pipelines run sequentially: wait for the previous
+		// task of the sub to finish this micro-batch before sending.
+		if ex.subPrev != nil && ex.isDegraded(ex.subOf(t)) {
+			if prev := ex.subPrev[t]; prev >= 0 {
+				if !ex.await(ex.done[prev][mb]) {
+					return false
+				}
+			}
+		}
+		// Sends crossing a downed link fail, retry with backoff, and
+		// degrade the sub-pipeline when the retry budget runs out.
+		if ex.failN != nil && ex.failN[t] > 0 {
+			if !ex.recoverSend(t, mb) {
+				return false
+			}
+		}
 		// Snapshot under the source rank's lock so concurrent writes to
 		// other chunks of this rank cannot tear the read.
 		ex.bufMu[prim.Rank].Lock()

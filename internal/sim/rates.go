@@ -127,10 +127,13 @@ func (s *sim) maxMin() {
 		if s.congestion != nil && s.congestion[r] > 0 {
 			c *= 1 - s.congestion[r]
 		}
+		if s.fault != nil {
+			c *= s.fault.capFactor[r]
+		}
 		if s.topo.Kind(r) == topo.KindSerialLink && len(s.resFlows[r]) > 1 {
 			demand := 0.0
 			for _, f := range s.resFlows[r] {
-				demand += s.tasks[f].cap
+				demand += s.flowCap(f)
 			}
 			if z := demand / c; z > 1 {
 				over := z - 1
@@ -169,14 +172,14 @@ func (s *sim) maxMin() {
 			}
 		}
 		for i, f := range rs.flows {
-			if !rs.frozen[i] && s.tasks[f].cap < next {
-				next = s.tasks[f].cap
+			if !rs.frozen[i] && s.flowCap(f) < next {
+				next = s.flowCap(f)
 			}
 		}
 		if next >= inf {
 			for i, f := range rs.flows {
 				if !rs.frozen[i] {
-					rs.rates[i] = s.tasks[f].cap
+					rs.rates[i] = s.flowCap(f)
 					rs.frozen[i] = true
 					unfrozen--
 				}
@@ -190,8 +193,8 @@ func (s *sim) maxMin() {
 		progress := false
 		// Freeze flows capped at rho.
 		for i, f := range rs.flows {
-			if !rs.frozen[i] && s.tasks[f].cap <= rho*(1+1e-12) {
-				rs.rates[i] = s.tasks[f].cap
+			if !rs.frozen[i] && s.flowCap(f) <= rho*(1+1e-12) {
+				rs.rates[i] = s.flowCap(f)
 				rs.frozen[i] = true
 				unfrozen--
 				progress = true

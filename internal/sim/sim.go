@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
 	"github.com/resccl/resccl/internal/topo"
@@ -38,6 +39,12 @@ type Config struct {
 	// scenario). A congested link both loses capacity and reaches its
 	// Eq. 1 contention regime sooner.
 	Congestion map[topo.ResourceID]float64
+	// Faults is an optional deterministic fault schedule (link
+	// degradation/outage windows, NIC flaps, straggler TBs) applied
+	// while the run executes — the time-varying generalisation of
+	// Congestion. Nil or empty injects nothing and leaves timings
+	// bit-identical to a fault-free run.
+	Faults *fault.Schedule
 	// RecordTimeline captures per-TB busy segments for Gantt rendering
 	// (trace.RenderTimeline). Off by default: large runs produce many
 	// segments.
@@ -57,6 +64,7 @@ type MultiConfig struct {
 	Topo           *topo.Topology
 	Sessions       []Session
 	Congestion     map[topo.ResourceID]float64
+	Faults         *fault.Schedule
 	RecordTimeline bool
 }
 
@@ -125,6 +133,9 @@ type Result struct {
 	LinkBusy map[topo.LinkID]float64
 	// Instances is the number of task invocations executed.
 	Instances int
+	// Faults lists the fault windows the simulator applied (opened)
+	// during the run, in firing order. Empty for fault-free runs.
+	Faults []FaultEvent
 }
 
 // MultiResult is the outcome of a concurrent run.
@@ -136,6 +147,8 @@ type MultiResult struct {
 	Sessions []*Result
 	// LinkBusy aggregates busy time over all sessions.
 	LinkBusy map[topo.LinkID]float64
+	// Faults lists the applied fault windows, shared across sessions.
+	Faults []FaultEvent
 }
 
 // MeanLinkUtilization returns the average busy fraction over links that
@@ -160,6 +173,7 @@ func Run(cfg Config) (*Result, error) {
 		Topo:           cfg.Topo,
 		Sessions:       []Session{{Kernel: cfg.Kernel, BufferBytes: cfg.BufferBytes, ChunkBytes: cfg.ChunkBytes}},
 		Congestion:     cfg.Congestion,
+		Faults:         cfg.Faults,
 		RecordTimeline: cfg.RecordTimeline,
 	})
 	if err != nil {
@@ -183,6 +197,13 @@ func RunConcurrent(cfg MultiConfig) (*MultiResult, error) {
 		}
 	}
 	s := newSim(cfg)
+	if !cfg.Faults.Empty() {
+		fs, err := newFaultState(cfg.Faults, s)
+		if err != nil {
+			return nil, err
+		}
+		s.fault = fs
+	}
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -193,6 +214,9 @@ func RunConcurrent(cfg MultiConfig) (*MultiResult, error) {
 const (
 	evLatencyDone = iota
 	evDataDone
+	// evFault fires a fault-schedule boundary (fault.go); the event's
+	// task field carries the boundary index.
+	evFault
 )
 
 // gid is a global task index across sessions.
@@ -318,6 +342,11 @@ type sim struct {
 	// congestion[r] is the capacity fraction lost to background traffic
 	// (nil when the run is uncongested).
 	congestion []float64
+
+	// fault holds the time-varying fault engine, nil for fault-free runs
+	// — every fault code path is gated on it so fault-free timings stay
+	// bit-identical.
+	fault *faultState
 }
 
 func newSim(cfg MultiConfig) *sim {
@@ -413,6 +442,8 @@ func (s *sim) push(e event) {
 }
 
 func (s *sim) run() error {
+	// Arm the first fault boundary (no-op for fault-free runs).
+	s.pushNextBound()
 	// Initial arrivals.
 	for _, tb := range s.tbs {
 		s.arrive(tb)
@@ -427,8 +458,16 @@ func (s *sim) run() error {
 		totalInstances += se.nTasks * se.plan.NMicroBatches
 	}
 	maxEvents := 512*(totalInstances+16) + 1<<20
+	if s.fault != nil {
+		maxEvents += 2 * len(s.fault.bounds)
+	}
 	processed := 0
 	for s.events.Len() > 0 {
+		// Fault boundaries may extend past the collective's completion;
+		// stop once every TB retired rather than drain them.
+		if s.fault != nil && s.doneTBs == len(s.tbs) {
+			break
+		}
 		e := heap.Pop(&s.events).(event)
 		processed++
 		if processed > maxEvents {
@@ -444,6 +483,8 @@ func (s *sim) run() error {
 				continue // stale: rates changed since this event was scheduled
 			}
 			s.finishInstance(e.task)
+		case evFault:
+			s.applyFaultBound(int(e.task))
 		}
 	}
 	if s.doneTBs != len(s.tbs) {
@@ -534,6 +575,10 @@ func (s *sim) tryStart(t gid) {
 		s.usedLinks[l] = struct{}{}
 	}
 	lat := ts.alpha + 2*se.interp
+	if s.fault != nil {
+		// A straggling TB pays its slowdown on the startup phase too.
+		lat *= s.taskSlow(t)
+	}
 	s.push(event{time: s.now + lat, kind: evLatencyDone, task: t})
 }
 
@@ -661,6 +706,9 @@ func (s *sim) result() *MultiResult {
 		Completion: s.now,
 		LinkBusy:   make(map[topo.LinkID]float64, len(s.usedLinks)),
 	}
+	if s.fault != nil {
+		mr.Faults = s.fault.applied
+	}
 	for l := range s.usedLinks {
 		mr.LinkBusy[l] = s.resBusy[l]
 	}
@@ -670,6 +718,7 @@ func (s *sim) result() *MultiResult {
 			Plan:       se.plan,
 			Instances:  se.instances,
 			LinkBusy:   mr.LinkBusy,
+			Faults:     mr.Faults,
 		}
 		if se.buffer > 0 && se.completion > 0 {
 			r.AlgoBW = float64(se.buffer) / se.completion

@@ -253,6 +253,15 @@ func (t *Topology) EgressPort(r ir.Rank) ResourceID { return ResourceID(t.offEgr
 // IngressPort returns rank r's NVSwitch ingress port resource.
 func (t *Topology) IngressPort(r ir.Rank) ResourceID { return ResourceID(t.offIngress + int(r)) }
 
+// NNICs returns the cluster-wide NIC count.
+func (t *Topology) NNICs() int { return t.totalNICs }
+
+// NICResources returns both queue resources (egress, ingress) of global
+// NIC n — the pair a NIC flap takes down together.
+func (t *Topology) NICResources(n int) (eg, in ResourceID) {
+	return t.NICEgress(n), t.NICIngress(n)
+}
+
 // NICEgress returns the egress resource of global NIC n.
 func (t *Topology) NICEgress(n int) ResourceID { return ResourceID(t.offNICEg + n) }
 

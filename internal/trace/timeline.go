@@ -42,6 +42,26 @@ func RenderTimeline(res *sim.Result, width, maxRanks int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline: %.3f ms total, %d TBs ('█' transferring, '·' idle on SM, ' ' released)\n",
 		total*1e3, len(tbs))
+	// Fault lane: mark columns where any injected fault window is active,
+	// then list the windows. Fault-free runs render exactly as before.
+	if len(res.Faults) > 0 {
+		var row strings.Builder
+		for i := 0; i < width; i++ {
+			at := total * (float64(i) + 0.5) / float64(width)
+			mark := byte(' ')
+			for _, f := range res.Faults {
+				if f.Time <= at && at < f.End {
+					mark = 'x'
+					break
+				}
+			}
+			row.WriteByte(mark)
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, "faults", row.String())
+		for _, f := range res.Faults {
+			fmt.Fprintf(&b, "%*s  %s\n", labelW, "", f.Detail)
+		}
+	}
 	lastRank := -1
 	shownRanks := 0
 	for _, tb := range tbs {

@@ -12,6 +12,7 @@ import (
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
@@ -68,6 +69,14 @@ type Config struct {
 	// compute overlapped with communication runs proportionally slower
 	// — the paper's core resource-contention effect (§1).
 	SMsPerGPU int
+	// FaultRate injects a seeded fault schedule into every simulated
+	// collective: FaultRate events (link degradations/outages, NIC
+	// flaps, stragglers) land within each collective's clean completion
+	// window. 0 disables injection.
+	FaultRate int
+	// FaultSeed seeds the fault schedules (default 1), making faulted
+	// runs reproducible.
+	FaultSeed int64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -89,6 +98,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SMsPerGPU <= 0 {
 		c.SMsPerGPU = 108
+	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = 1
 	}
 	if c.TP < 1 {
 		c.TP = 1
@@ -129,8 +141,10 @@ type Result struct {
 }
 
 // commTime simulates one AllReduce of bufBytes per rank on tp using the
-// backend, returning its completion time and per-GPU TB footprint.
-func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64) (float64, int, error) {
+// backend, returning its completion time and per-GPU TB footprint. A
+// positive faultRate reruns the collective under a seeded schedule of
+// that many events landing within the clean completion window.
+func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64) (float64, int, error) {
 	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		return 0, 0, err
@@ -146,6 +160,17 @@ func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes
 	res, err := sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: chunk})
 	if err != nil {
 		return 0, 0, err
+	}
+	if faultRate > 0 {
+		sched := fault.Generate(tp, fault.Params{
+			Seed: faultSeed, N: faultRate,
+			Horizon: res.Completion, MeanDuration: res.Completion / 8,
+			NTBs: len(plan.Kernel.TBs),
+		})
+		res, err = sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: chunk, Faults: sched})
+		if err != nil {
+			return 0, 0, err
+		}
 	}
 	return res.Completion, plan.Kernel.MaxTBsPerRank(), nil
 }
@@ -194,7 +219,7 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 		if actBytes < 1<<20 {
 			actBytes = 1 << 20
 		}
-		one, _, err := commTime(b, tpTopo, algo, actBytes)
+		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed)
 		if err != nil {
 			return nil, fmt.Errorf("train: TP comm: %w", err)
 		}
@@ -217,7 +242,7 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 			var algo *ir.Algorithm
 			algo, err = arAlgo(cfg.NNodes, cfg.GPN)
 			if err == nil {
-				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes)
+				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed)
 			}
 		}
 		if err != nil {
@@ -282,6 +307,21 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 	mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions})
 	if err != nil {
 		return 0, 0, err
+	}
+	if cfg.FaultRate > 0 {
+		nTBs := 0
+		for _, se := range sessions {
+			nTBs += len(se.Kernel.TBs)
+		}
+		sched := fault.Generate(tp, fault.Params{
+			Seed: cfg.FaultSeed, N: cfg.FaultRate,
+			Horizon: mr.Completion, MeanDuration: mr.Completion / 8,
+			NTBs: nTBs,
+		})
+		mr, err = sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions, Faults: sched})
+		if err != nil {
+			return 0, 0, err
+		}
 	}
 	return mr.Completion, tbs, nil
 }
