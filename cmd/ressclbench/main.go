@@ -5,24 +5,62 @@
 //
 //	ressclbench -list
 //	ressclbench -exp fig6
-//	ressclbench -exp all [-quick]
+//	ressclbench -exp all [-quick] [-parallel] [-workers N]
+//	ressclbench -exp all -quick -bench-json BENCH_run.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/bench"
 )
 
+// perfExperiment is one experiment's slice of a perf record.
+type perfExperiment struct {
+	ID          string  `json:"id"`
+	WallMS      float64 `json:"wall_ms"`
+	Tables      int     `json:"tables"`
+	Rows        int     `json:"rows"`
+	SimEvents   int64   `json:"sim_events"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+// perfRecord is the machine-readable output of -bench-json. Records are
+// committed as BENCH_*.json files so perf regressions show up in review
+// (see docs/performance.md).
+type perfRecord struct {
+	GeneratedBy  string           `json:"generated_by"`
+	Quick        bool             `json:"quick"`
+	Parallel     bool             `json:"parallel"`
+	Workers      int              `json:"workers"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	TotalWallMS  float64          `json:"total_wall_ms"`
+	SimEvents    int64            `json:"sim_events"`
+	SimRuns      int64            `json:"sim_runs"`
+	EventsPerSec float64          `json:"events_per_sec"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	CacheEntries int              `json:"cache_entries"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+	Experiments  []perfExperiment `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		list   = flag.Bool("list", false, "list available experiments")
-		format = flag.String("format", "text", "output format: text, csv or markdown")
+		exp       = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list      = flag.Bool("list", false, "list available experiments")
+		format    = flag.String("format", "text", "output format: text, csv or markdown")
+		parallel  = flag.Bool("parallel", false, "fan independent simulation cells across a worker pool (output is byte-identical to a serial run)")
+		workers   = flag.Int("workers", 0, "worker pool size for -parallel; 0 means GOMAXPROCS")
+		benchJSON = flag.String("bench-json", "", "write a machine-readable perf record (wall clock, sim events/sec, cache hit rate) to this path")
 	)
 	flag.Parse()
 
@@ -37,7 +75,18 @@ func main() {
 		return
 	}
 
-	opts := bench.Options{Quick: *quick}
+	// One plan cache and one counter set span all experiments, so
+	// repeated compilations across figures are shared and the perf
+	// record reflects the whole run.
+	cache := backend.NewCache()
+	stats := bench.NewStats()
+	opts := bench.Options{
+		Quick:    *quick,
+		Parallel: *parallel,
+		Workers:  *workers,
+		Cache:    cache,
+		Stats:    stats,
+	}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Registry()
@@ -50,14 +99,28 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
+	rec := perfRecord{
+		GeneratedBy: "ressclbench -bench-json",
+		Quick:       *quick,
+		Parallel:    *parallel,
+		Workers:     *workers,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	suiteStart := time.Now()
 	for _, e := range exps {
 		start := time.Now()
+		preStats := cache.Stats()
+		preEvents := stats.SimEvents()
 		tables, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		postStats := cache.Stats()
+		rows := 0
 		for _, t := range tables {
+			rows += len(t.Rows)
 			switch *format {
 			case "csv":
 				t.FprintCSV(os.Stdout)
@@ -67,8 +130,46 @@ func main() {
 				t.Fprint(os.Stdout)
 			}
 		}
+		hits := postStats.Hits - preStats.Hits
+		misses := postStats.Misses - preStats.Misses
 		if *format == "text" {
-			fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s completed in %v; plan cache %d hits / %d misses]\n\n",
+				e.ID, elapsed.Round(time.Millisecond), hits, misses)
 		}
+		rec.Experiments = append(rec.Experiments, perfExperiment{
+			ID:          e.ID,
+			WallMS:      float64(elapsed.Microseconds()) / 1e3,
+			Tables:      len(tables),
+			Rows:        rows,
+			SimEvents:   stats.SimEvents() - preEvents,
+			CacheHits:   hits,
+			CacheMisses: misses,
+		})
 	}
+
+	if *benchJSON == "" {
+		return
+	}
+	total := time.Since(suiteStart)
+	st := cache.Stats()
+	rec.TotalWallMS = float64(total.Microseconds()) / 1e3
+	rec.SimEvents = stats.SimEvents()
+	rec.SimRuns = stats.SimRuns()
+	if s := total.Seconds(); s > 0 {
+		rec.EventsPerSec = float64(stats.SimEvents()) / s
+	}
+	rec.CacheHits = st.Hits
+	rec.CacheMisses = st.Misses
+	rec.CacheEntries = st.Entries
+	rec.CacheHitRate = st.HitRate()
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*benchJSON, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perf record written to %s\n", *benchJSON)
 }

@@ -1,0 +1,178 @@
+package backend
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Cache is a content-addressed compile cache: plans are keyed by a
+// structural fingerprint of (backend configuration, algorithm, topology),
+// so a buffer-size sweep compiles each plan once instead of once per
+// point. Compilation is a pure function of that triple — the buffer and
+// chunk sizes enter only at simulation time — which is what makes the
+// key sound.
+//
+// The cache is safe for concurrent use. Concurrent requests for the same
+// key are collapsed into a single compilation (the losers block until
+// the winner finishes), so hit/miss counts are deterministic regardless
+// of scheduling: misses == distinct keys requested.
+//
+// Compiled plans are shared by reference; Plan, its Kernel and its Graph
+// are treated as immutable after compilation everywhere downstream (the
+// simulator, the runtime and the trace analyzer only read them).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*cacheEntry
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	plan *Plan
+	err  error
+}
+
+// NewCache returns an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[[sha256.Size]byte]*cacheEntry)}
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns the fraction of lookups served from the cache, 0 when
+// the cache was never used.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats snapshots the hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Compile returns the cached plan for the request, compiling it on first
+// use. Backends with configurations the fingerprint does not understand
+// fall through to a direct, uncached compile.
+func (c *Cache) Compile(b Backend, req Request) (*Plan, error) {
+	if c == nil {
+		return b.Compile(req)
+	}
+	key, ok := fingerprint(b, req)
+	if !ok {
+		return b.Compile(req)
+	}
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if hit {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.plan, e.err
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+	e.plan, e.err = b.Compile(req)
+	close(e.done)
+	return e.plan, e.err
+}
+
+// fingerprint hashes everything compilation depends on. It returns
+// ok=false for backend types it cannot describe, which callers treat as
+// uncacheable rather than risking a stale plan.
+func fingerprint(b Backend, req Request) ([sha256.Size]byte, bool) {
+	if req.Algo == nil || req.Topo == nil {
+		return [sha256.Size]byte{}, false
+	}
+	cfg, ok := backendConfig(b)
+	if !ok {
+		return [sha256.Size]byte{}, false
+	}
+	h := sha256.New()
+	io.WriteString(h, cfg)
+	hashAlgorithm(h, req.Algo)
+	hashTopology(h, req.Topo)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key, true
+}
+
+// backendConfig renders a backend's compile-relevant configuration. Only
+// the three known backend types are cacheable; anything else (a test
+// stub, a future stateful backend) compiles directly.
+func backendConfig(b Backend) (string, bool) {
+	switch bb := b.(type) {
+	case *NCCL:
+		return fmt.Sprintf("NCCL|ch=%d", bb.Channels), true
+	case *MSCCL:
+		return fmt.Sprintf("MSCCL|inst=%d", bb.Instances), true
+	case *ResCCL:
+		o := bb.Options
+		return fmt.Sprintf("ResCCL|pol=%d|alloc=%d|mode=%d|chunk=%d|win=%d|skipv=%t",
+			o.Policy, o.Alloc, o.Mode, o.ChunkBytes, o.WindowMB, o.SkipVerify), true
+	default:
+		return "", false
+	}
+}
+
+func hashAlgorithm(h io.Writer, a *ir.Algorithm) {
+	io.WriteString(h, a.Name)
+	writeInts(h, int64(a.Op), int64(a.NRanks), int64(a.NChunks), int64(a.NChannels), int64(a.NWarps))
+	writeInts(h, int64(len(a.Transfers)))
+	for _, t := range a.Transfers {
+		writeInts(h, int64(t.Src), int64(t.Dst), int64(t.Step), int64(t.Chunk), int64(t.Type))
+	}
+	writeInts(h, int64(len(a.StageBounds)))
+	for _, s := range a.StageBounds {
+		writeInts(h, int64(s))
+	}
+	writeInts(h, int64(len(a.Group)))
+	for _, r := range a.Group {
+		writeInts(h, int64(r))
+	}
+}
+
+func hashTopology(h io.Writer, t *topo.Topology) {
+	p := t.Profile
+	io.WriteString(h, p.Name)
+	writeFloats(h, p.NVLinkBW, p.NICBW, p.TBCapIntra, p.TBCapInter, p.Gamma)
+	writeInts(h,
+		int64(p.LatIntra), int64(p.LatInter), int64(p.LatCrossRack),
+		int64(p.InterpCost), int64(p.KernelLoad),
+		int64(t.NNodes), int64(t.GPUsPerNode), int64(t.NICsPerNode), int64(t.ServersPerRack))
+}
+
+func writeInts(h io.Writer, vals ...int64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+}
+
+func writeFloats(h io.Writer, vals ...float64) {
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}

@@ -15,6 +15,7 @@ import (
 // execution granularity (§3's three strategies on one algorithm), TB
 // allocation policy, scheduling policy, and chunk size.
 func Ablations(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	tp := topo.New(2, 8, topo.A100())
 	buf := int64(512 << 20)
 	if opts.Quick {
@@ -25,27 +26,27 @@ func Ablations(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 
-	granularity, err := granularityAblation(tp, algo, buf)
+	granularity, err := granularityAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
-	alloc, err := allocAblation(tp, algo, buf)
+	alloc, err := allocAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := policyAblation(tp, algo, buf)
+	policy, err := policyAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
-	chunk, err := chunkAblation(tp, algo, buf, opts)
+	chunk, err := chunkAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
-	contention, err := contentionAblation(tp, algo, buf)
+	contention, err := contentionAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
-	tenants, err := tenantAblation(tp, algo, buf)
+	tenants, err := tenantAblation(opts, tp, algo, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +57,7 @@ func Ablations(opts Options) ([]*Table, error) {
 // cluster as concurrent sessions — contention from a *real* competing
 // collective rather than static background load — and reports each
 // backend's slowdown relative to running alone.
-func tenantAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
+func tenantAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "Two co-located tenants (identical HM AllReduce jobs, 2×8)",
@@ -65,24 +66,32 @@ func tenantAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, e
 			"under co-location every backend converges toward the fabric's contended floor; ResCCL arrives from a higher clean baseline while occupying roughly half the SMs (Table 3)",
 		},
 	}
-	for _, b := range backends() {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+	bks := backends()
+	rows := make([][]string, len(bks))
+	err := runCells(opts, len(bks), func(c int) error {
+		b := bks[c]
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		alone, err := runPlan(tp, plan, buf, defaultChunk)
+		alone, err := runPlan(opts, tp, plan, buf, defaultChunk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ses := sim.Session{Kernel: plan.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk}
-		mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: []sim.Session{ses, ses}})
+		mr, err := runConcurrent(opts, sim.MultiConfig{Topo: tp, Sessions: []sim.Session{ses, ses}})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		shared := mr.Sessions[0]
-		t.AddRow(b.Name(), gb(alone.AlgoBW), gb(shared.AlgoBW),
-			fmt.Sprintf("%.2fx", alone.AlgoBW/shared.AlgoBW))
+		rows[c] = []string{b.Name(), gb(alone.AlgoBW), gb(shared.AlgoBW),
+			fmt.Sprintf("%.2fx", alone.AlgoBW/shared.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -90,7 +99,7 @@ func tenantAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, e
 // background traffic consuming half of one NIC's capacity degrades
 // backends that over-drive links (Eq. 1 penalty against the reduced
 // capacity) more than ResCCL's conflict-free schedule.
-func contentionAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
+func contentionAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "Network contention (background job consuming 50% of NIC 0, HM AllReduce, 2×8)",
@@ -101,31 +110,39 @@ func contentionAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Tabl
 		tp.NICEgress(0):  0.5,
 		tp.NICIngress(0): 0.5,
 	}
-	for _, b := range backends() {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+	bks := backends()
+	rows := make([][]string, len(bks))
+	err := runCells(opts, len(bks), func(c int) error {
+		b := bks[c]
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		clean, err := runPlan(tp, plan, buf, defaultChunk)
+		clean, err := runPlan(opts, tp, plan, buf, defaultChunk)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		congested, err := sim.Run(sim.Config{
+		congested, err := runSim(opts, sim.Config{
 			Topo: tp, Kernel: plan.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk,
 			Congestion: congestion,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(b.Name(), gb(clean.AlgoBW), gb(congested.AlgoBW),
-			pct(1-congested.AlgoBW/clean.AlgoBW))
+		rows[c] = []string{b.Name(), gb(clean.AlgoBW), gb(congested.AlgoBW),
+			pct(1 - congested.AlgoBW/clean.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // granularityAblation executes the same algorithm under the three
 // execution granularities of §3 (Eq. 3–5).
-func granularityAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
+func granularityAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "Execution granularity (HM AllReduce, 2×8)",
@@ -136,7 +153,7 @@ func granularityAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Tab
 	lazy := *algo
 	lazy.StageBounds = nil
 	msccl := backend.NewMSCCL()
-	for _, c := range []struct {
+	cases := []struct {
 		label, policy string
 		a             *ir.Algorithm
 		b             backend.Backend
@@ -144,66 +161,91 @@ func granularityAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Tab
 		{"algorithm-level", "MSCCL, no stages (lazy)", &lazy, msccl},
 		{"stage-level", "MSCCL, expert stage channels", algo, msccl},
 		{"task-level", "ResCCL (HPDS)", algo, backend.NewResCCL()},
-	} {
-		plan, err := c.b.Compile(backend.Request{Algo: c.a, Topo: tp})
-		if err != nil {
-			return nil, err
-		}
-		res, err := runPlan(tp, plan, buf, defaultChunk)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c.label, c.policy, gb(res.AlgoBW))
 	}
+	rows := make([][]string, len(cases))
+	err := runCells(opts, len(cases), func(ci int) error {
+		c := cases[ci]
+		plan, err := compile(opts, c.b, backend.Request{Algo: c.a, Topo: tp})
+		if err != nil {
+			return err
+		}
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
+		if err != nil {
+			return err
+		}
+		rows[ci] = []string{c.label, c.policy, gb(res.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // allocAblation compares connection-based and state-based TB allocation
-// on the ResCCL pipeline.
-func allocAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
+// on the ResCCL pipeline. It needs the compiled pipeline's internals
+// (TB counts), so it calls core.Compile directly instead of the cache.
+func allocAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "TB allocation policy (ResCCL pipeline, HM AllReduce, 2×8)",
 		Header: []string{"Allocation", "#TB/GPU", "total TBs", "GB/s"},
 	}
-	for _, alloc := range []core.AllocPolicy{core.AllocConnectionBased, core.AllocStateBased} {
-		comp, err := core.Compile(algo, tp, core.Options{Alloc: alloc})
+	allocs := []core.AllocPolicy{core.AllocConnectionBased, core.AllocStateBased}
+	rows := make([][]string, len(allocs))
+	err := runCells(opts, len(allocs), func(c int) error {
+		comp, err := core.Compile(algo, tp, core.Options{Alloc: allocs[c]})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := sim.Run(sim.Config{Topo: tp, Kernel: comp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
+		res, err := runSim(opts, sim.Config{Topo: tp, Kernel: comp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(alloc.String(), fmt.Sprintf("%d", comp.Kernel.MaxTBsPerRank()),
-			fmt.Sprintf("%d", comp.Kernel.NTBs()), gb(res.AlgoBW))
+		rows[c] = []string{allocs[c].String(), fmt.Sprintf("%d", comp.Kernel.MaxTBsPerRank()),
+			fmt.Sprintf("%d", comp.Kernel.NTBs()), gb(res.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
-// policyAblation compares the three scheduling policies.
-func policyAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
+// policyAblation compares the three scheduling policies. Like
+// allocAblation it reads Compiled internals (sub-pipeline counts), so
+// the compilations stay outside the plan cache.
+func policyAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "Scheduling policy (HM AllReduce, 2×8)",
 		Header: []string{"Policy", "sub-pipelines", "GB/s"},
 	}
-	for _, pol := range []sched.Policy{sched.PolicySequential, sched.PolicyRR, sched.PolicyHPDS} {
-		comp, err := core.Compile(algo, tp, core.Options{Policy: pol})
+	policies := []sched.Policy{sched.PolicySequential, sched.PolicyRR, sched.PolicyHPDS}
+	rows := make([][]string, len(policies))
+	err := runCells(opts, len(policies), func(c int) error {
+		comp, err := core.Compile(algo, tp, core.Options{Policy: policies[c]})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := sim.Run(sim.Config{Topo: tp, Kernel: comp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
+		res, err := runSim(opts, sim.Config{Topo: tp, Kernel: comp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(pol.String(), fmt.Sprintf("%d", comp.Pipeline.NSubs()), gb(res.AlgoBW))
+		rows[c] = []string{policies[c].String(), fmt.Sprintf("%d", comp.Pipeline.NSubs()), gb(res.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // chunkAblation sweeps the transfer chunk size.
-func chunkAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64, opts Options) (*Table, error) {
+func chunkAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64) (*Table, error) {
 	t := &Table{
 		ID:     "ablation",
 		Title:  "Chunk size (ResCCL, HM AllReduce, 2×8)",
@@ -214,16 +256,22 @@ func chunkAblation(tp *topo.Topology, algo *ir.Algorithm, buf int64, opts Option
 	if opts.Quick {
 		chunks = []int64{512 << 10, 1 << 20, 4 << 20}
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := compile(opts, backend.NewResCCL(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		return nil, err
 	}
-	for _, ch := range chunks {
-		res, err := runPlan(tp, plan, buf, ch)
+	rows := make([][]string, len(chunks))
+	err = runCells(opts, len(chunks), func(c int) error {
+		res, err := runPlan(opts, tp, plan, buf, chunks[c])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(mbLabel(ch), fmt.Sprintf("%d", res.Plan.NMicroBatches), gb(res.AlgoBW))
+		rows[c] = []string{mbLabel(chunks[c]), fmt.Sprintf("%d", res.Plan.NMicroBatches), gb(res.AlgoBW)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

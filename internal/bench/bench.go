@@ -102,6 +102,33 @@ type Options struct {
 	// runs in seconds (used by CI and Go benchmarks); the full settings
 	// reproduce the paper's parameter ranges.
 	Quick bool
+	// Parallel fans the experiment's independent simulation cells across
+	// a worker pool (see runner.go). Tables are assembled in canonical
+	// order either way, so output is byte-identical to a serial run.
+	Parallel bool
+	// Workers caps the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Cache is the shared plan-compile cache. When nil each experiment
+	// creates a private one, which still collapses a buffer sweep's
+	// repeated compilations; the ressclbench CLI shares one cache across
+	// all experiments.
+	Cache *backend.Cache
+	// Stats, when non-nil, accumulates simulator throughput counters for
+	// machine-readable perf records (-bench-json).
+	Stats *Stats
+}
+
+// init fills derived defaults; every experiment calls it on entry.
+func (o Options) init() Options {
+	if o.Cache == nil {
+		o.Cache = backend.NewCache()
+	}
+	return o
+}
+
+// compile routes a backend compilation through the plan cache.
+func compile(opts Options, b backend.Backend, req backend.Request) (*backend.Plan, error) {
+	return opts.Cache.Compile(b, req)
 }
 
 // Experiment generates the artifacts for one paper table/figure.
@@ -135,13 +162,12 @@ func Registry() []Experiment {
 
 // Find returns the experiment with the given ID.
 func Find(id string) (Experiment, error) {
-	for _, e := range Registry() {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for _, e := range reg {
 		if e.ID == id {
 			return e, nil
 		}
-	}
-	ids := make([]string, 0)
-	for _, e := range Registry() {
 		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
@@ -176,28 +202,40 @@ func backends() []backend.Backend {
 }
 
 // runPlan simulates a compiled plan.
-func runPlan(tp *topo.Topology, plan *backend.Plan, buf, chunk int64) (*sim.Result, error) {
-	return sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: buf, ChunkBytes: chunk})
+func runPlan(opts Options, tp *topo.Topology, plan *backend.Plan, buf, chunk int64) (*sim.Result, error) {
+	return runSim(opts, sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: buf, ChunkBytes: chunk})
 }
 
 // bandwidth compiles the algorithm on every backend and returns algo
 // bandwidth per backend per buffer size: out[backend][i] for bufs[i].
-func bandwidth(tp *topo.Topology, algo *ir.Algorithm, bufs []int64) (map[string][]float64, error) {
-	out := make(map[string][]float64)
-	for _, b := range backends() {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+// Every (backend, buffer) pair is an independent cell; the plan cache
+// collapses the per-backend compilations to one each.
+func bandwidth(opts Options, tp *topo.Topology, algo *ir.Algorithm, bufs []int64) (map[string][]float64, error) {
+	bks := backends()
+	series := make([][]float64, len(bks))
+	for i := range series {
+		series[i] = make([]float64, len(bufs))
+	}
+	err := runCells(opts, len(bks)*len(bufs), func(c int) error {
+		bi, fi := c/len(bufs), c%len(bufs)
+		b := bks[bi]
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", b.Name(), algo.Name, err)
+			return fmt.Errorf("%s/%s: %w", b.Name(), algo.Name, err)
 		}
-		series := make([]float64, 0, len(bufs))
-		for _, buf := range bufs {
-			res, err := runPlan(tp, plan, buf, defaultChunk)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s buf=%d: %w", b.Name(), algo.Name, buf, err)
-			}
-			series = append(series, res.AlgoBW)
+		res, err := runPlan(opts, tp, plan, bufs[fi], defaultChunk)
+		if err != nil {
+			return fmt.Errorf("%s/%s buf=%d: %w", b.Name(), algo.Name, bufs[fi], err)
 		}
-		out[b.Name()] = series
+		series[bi][fi] = res.AlgoBW
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(bks))
+	for i, b := range bks {
+		out[b.Name()] = series[i]
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 // and idling — including the near-total idleness of manually added
 // extra channels (Fig. 2(a)) and the sync-blocking share (Fig. 2(b)).
 func Figure2(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	buf := int64(512 << 20)
 	if opts.Quick {
 		buf = 128 << 20
@@ -23,7 +24,6 @@ func Figure2(opts Options) ([]*Table, error) {
 	tp := topo.New(1, 8, topo.A100())
 	msccl := backend.NewMSCCL()
 
-	var out []*Table
 	cases := []struct {
 		label string
 		build func() (*ir.Algorithm, error)
@@ -31,23 +31,24 @@ func Figure2(opts Options) ([]*Table, error) {
 		{"custom (expert mesh AllReduce)", func() (*ir.Algorithm, error) { return expertAR(1, 8) }},
 		{"synthesized (TACCL AllReduce)", func() (*ir.Algorithm, error) { return synth.TACCLAllReduce(1, 8) }},
 	}
-	for _, c := range cases {
-		algo, err := c.build()
+	tables := make([]*Table, len(cases))
+	err := runCells(opts, len(cases), func(c int) error {
+		algo, err := cases[c].build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		plan, err := msccl.Compile(backend.Request{Algo: algo, Topo: tp})
+		plan, err := compile(opts, msccl, backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := runPlan(tp, plan, buf, defaultChunk)
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		u := trace.Analyze(plan.Kernel, res, plan.Backend)
 		t := &Table{
 			ID:     "fig2",
-			Title:  fmt.Sprintf("MSCCL primitive time breakdown — %s, single node (8 GPUs), rank 0", c.label),
+			Title:  fmt.Sprintf("MSCCL primitive time breakdown — %s, single node (8 GPUs), rank 0", cases[c].label),
 			Header: []string{"TB", "role", "exec", "sync", "idle"},
 		}
 		for _, r := range trace.RankBreakdown(u, 0).TBs {
@@ -58,9 +59,13 @@ func Figure2(opts Options) ([]*Table, error) {
 			t.Notes = append(t.Notes, fmt.Sprintf("extra-channel TBs idle %s of the time (paper: 98.2%%)", pct(extra)))
 		}
 		t.Notes = append(t.Notes, fmt.Sprintf("max sync-blocking share %s (paper: up to 67.1%%)", pct(u.MaxSyncRatio())))
-		out = append(out, t)
+		tables[c] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return tables, nil
 }
 
 // table3Topos are the four cluster shapes of Table 3.
@@ -78,6 +83,7 @@ var table3Topos = []struct {
 // ResCCL across the four topologies for expert and synthesized AllReduce
 // and AllGather.
 func Table3(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	buf := int64(512 << 20)
 	if opts.Quick {
 		buf = 128 << 20
@@ -91,32 +97,42 @@ func Table3(opts Options) ([]*Table, error) {
 		{"Synthesized AllReduce", synth.TACCLAllReduce},
 		{"Synthesized AllGather", synth.TACCLAllGather},
 	}
+	bks := []backend.Backend{backend.NewMSCCL(), backend.NewResCCL()}
+	// One cell per (algorithm, topology, backend) row of the tables.
+	perAlgo := len(table3Topos) * len(bks)
+	rows := make([][]string, len(algos)*perAlgo)
+	err := runCells(opts, len(rows), func(c int) error {
+		a := algos[c/perAlgo]
+		shape := table3Topos[(c%perAlgo)/len(bks)]
+		b := bks[c%len(bks)]
+		tp := topo.New(shape.nNodes, shape.gpn, topo.A100())
+		algo, err := a.build(shape.nNodes, shape.gpn)
+		if err != nil {
+			return err
+		}
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
+		if err != nil {
+			return fmt.Errorf("table3 %s/%s: %w", shape.label, b.Name(), err)
+		}
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
+		if err != nil {
+			return fmt.Errorf("table3 %s/%s: %w", shape.label, b.Name(), err)
+		}
+		u := trace.Analyze(plan.Kernel, res, plan.Backend)
+		rows[c] = []string{shape.label, b.Name(), fmt.Sprintf("%d", u.TBs),
+			pct(u.CommTime), pct(u.AvgIdle), pct(u.MaxIdle)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*Table
-	for _, a := range algos {
+	for ai, a := range algos {
 		t := &Table{
 			ID:     "table3",
 			Title:  fmt.Sprintf("TB utilization — %s", a.label),
 			Header: []string{"Topology", "Backend", "#TB/GPU", "Comm Time", "Avg Idle", "Max Idle"},
-		}
-		for _, shape := range table3Topos {
-			tp := topo.New(shape.nNodes, shape.gpn, topo.A100())
-			algo, err := a.build(shape.nNodes, shape.gpn)
-			if err != nil {
-				return nil, err
-			}
-			for _, b := range []backend.Backend{backend.NewMSCCL(), backend.NewResCCL()} {
-				plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
-				if err != nil {
-					return nil, fmt.Errorf("table3 %s/%s: %w", shape.label, b.Name(), err)
-				}
-				res, err := runPlan(tp, plan, buf, defaultChunk)
-				if err != nil {
-					return nil, fmt.Errorf("table3 %s/%s: %w", shape.label, b.Name(), err)
-				}
-				u := trace.Analyze(plan.Kernel, res, plan.Backend)
-				t.AddRow(shape.label, b.Name(), fmt.Sprintf("%d", u.TBs),
-					pct(u.CommTime), pct(u.AvgIdle), pct(u.MaxIdle))
-			}
+			Rows:   rows[ai*perAlgo : (ai+1)*perAlgo],
 		}
 		out = append(out, t)
 	}
@@ -128,6 +144,7 @@ func Table3(opts Options) ([]*Table, error) {
 // time under MSCCL and ResCCL, plus the SM time ResCCL returns through
 // early release.
 func Figure12(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	buf := int64(512 << 20)
 	if opts.Quick {
 		buf = 128 << 20
@@ -140,35 +157,40 @@ func Figure12(opts Options) ([]*Table, error) {
 		{"expert-designed (HM AllReduce)", func() (*ir.Algorithm, error) { return expertAR(2, 8) }},
 		{"synthesized (TACCL AllReduce)", func() (*ir.Algorithm, error) { return synth.TACCLAllReduce(2, 8) }},
 	}
-	var out []*Table
-	for _, c := range cases {
-		algo, err := c.build()
+	bks := []backend.Backend{backend.NewMSCCL(), backend.NewResCCL()}
+	tables := make([]*Table, len(cases)*len(bks))
+	err := runCells(opts, len(tables), func(c int) error {
+		cs := cases[c/len(bks)]
+		b := bks[c%len(bks)]
+		algo, err := cs.build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, b := range []backend.Backend{backend.NewMSCCL(), backend.NewResCCL()} {
-			plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
-			if err != nil {
-				return nil, err
-			}
-			res, err := runPlan(tp, plan, buf, defaultChunk)
-			if err != nil {
-				return nil, err
-			}
-			u := trace.Analyze(plan.Kernel, res, plan.Backend)
-			t := &Table{
-				ID:     "fig12",
-				Title:  fmt.Sprintf("Per-TB time breakdown — %s, %s, rank 0 (V100)", c.label, b.Name()),
-				Header: []string{"TB", "role", "exec (ms)", "sync (ms)", "saving (ms)"},
-			}
-			for _, r := range trace.RankBreakdown(u, 0).TBs {
-				t.AddRow(fmt.Sprintf("TB%d", r.ID), r.Label,
-					fmt.Sprintf("%.1f", r.Exec*1e3),
-					fmt.Sprintf("%.1f", r.Sync*1e3),
-					fmt.Sprintf("%.1f", r.Saving*1e3))
-			}
-			out = append(out, t)
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
+		if err != nil {
+			return err
 		}
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
+		if err != nil {
+			return err
+		}
+		u := trace.Analyze(plan.Kernel, res, plan.Backend)
+		t := &Table{
+			ID:     "fig12",
+			Title:  fmt.Sprintf("Per-TB time breakdown — %s, %s, rank 0 (V100)", cs.label, b.Name()),
+			Header: []string{"TB", "role", "exec (ms)", "sync (ms)", "saving (ms)"},
+		}
+		for _, r := range trace.RankBreakdown(u, 0).TBs {
+			t.AddRow(fmt.Sprintf("TB%d", r.ID), r.Label,
+				fmt.Sprintf("%.1f", r.Exec*1e3),
+				fmt.Sprintf("%.1f", r.Sync*1e3),
+				fmt.Sprintf("%.1f", r.Saving*1e3))
+		}
+		tables[c] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return tables, nil
 }

@@ -31,6 +31,7 @@ func expertAR(nNodes, gpn int) (*ir.Algorithm, error) {
 // executes expert (MSCCLang) and synthesized (TACCL/TECCL) plans at
 // three cluster scales — the paper's motivation table.
 func Table1(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	t := &Table{
 		ID:     "table1",
 		Title:  "Global link utilization on the MSCCL backend",
@@ -61,36 +62,43 @@ func Table1(opts Options) ([]*Table, error) {
 		}
 		return expert.HMAllReduce(nNodes, gpn)
 	}
-	for _, sc := range scales {
-		builders := []func(int, int) (*ir.Algorithm, error){
-			expertAG, msAR,
-			synth.TACCLAllGather, synth.TACCLAllReduce,
-			synth.TECCLAllGather,
-		}
-		row := []string{sc.label}
+	builders := []func(int, int) (*ir.Algorithm, error){
+		expertAG, msAR,
+		synth.TACCLAllGather, synth.TACCLAllReduce,
+		synth.TECCLAllGather,
+	}
+	cells := make([]string, len(scales)*len(builders))
+	err := runCells(opts, len(cells), func(c int) error {
+		sc := scales[c/len(builders)]
+		build := builders[c%len(builders)]
 		tp := topo.New(sc.nNodes, 8, topo.A100())
-		for _, build := range builders {
-			algo, err := build(sc.nNodes, 8)
-			if err != nil {
-				return nil, err
-			}
-			plan, err := msccl.Compile(backend.Request{Algo: algo, Topo: tp})
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s/%s: %w", sc.label, algo.Name, err)
-			}
-			res, err := runPlan(tp, plan, buf, defaultChunk)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s/%s: %w", sc.label, algo.Name, err)
-			}
-			row = append(row, pct(res.MeanLinkUtilization()))
+		algo, err := build(sc.nNodes, 8)
+		if err != nil {
+			return err
 		}
-		t.AddRow(row...)
+		plan, err := compile(opts, msccl, backend.Request{Algo: algo, Topo: tp})
+		if err != nil {
+			return fmt.Errorf("table1 %s/%s: %w", sc.label, algo.Name, err)
+		}
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
+		if err != nil {
+			return fmt.Errorf("table1 %s/%s: %w", sc.label, algo.Name, err)
+		}
+		cells[c] = pct(res.MeanLinkUtilization())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scales {
+		t.AddRow(append([]string{sc.label}, cells[si*len(builders):(si+1)*len(builders)]...)...)
 	}
 	return []*Table{t}, nil
 }
 
 // bwFigure renders one expert/synth bandwidth comparison figure: one
-// table per (operator, topology) with a GB/s column per backend.
+// table per (operator, topology) with a GB/s column per backend. The
+// caller must have initialized opts.
 func bwFigure(id, title string, opts Options, shapes [][2]int,
 	build func(op ir.OpType, nNodes, gpn int) (*ir.Algorithm, error), relative bool) ([]*Table, error) {
 
@@ -104,7 +112,7 @@ func bwFigure(id, title string, opts Options, shapes [][2]int,
 			if err != nil {
 				return nil, err
 			}
-			series, err := bandwidth(tp, algo, bufs)
+			series, err := bandwidth(opts, tp, algo, bufs)
 			if err != nil {
 				return nil, err
 			}
@@ -157,12 +165,13 @@ func tecclBuilder(op ir.OpType, nNodes, gpn int) (*ir.Algorithm, error) {
 // Figure6 reproduces the expert-designed AllGather/AllReduce bandwidth
 // sweep on the main topologies (16 and 32 GPUs).
 func Figure6(opts Options) ([]*Table, error) {
-	return bwFigure("fig6", "Expert-designed bandwidth", opts, [][2]int{{2, 8}, {4, 8}}, expertBuilder, false)
+	return bwFigure("fig6", "Expert-designed bandwidth", opts.init(), [][2]int{{2, 8}, {4, 8}}, expertBuilder, false)
 }
 
 // Figure7 reproduces the synthesized-algorithm speedups of ResCCL over
 // MSCCL (TACCL and TECCL plans) on the main topologies.
 func Figure7(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	ta, err := bwFigure("fig7", "TACCL-synthesized speedup", opts, [][2]int{{2, 8}, {4, 8}}, tacclBuilder, true)
 	if err != nil {
 		return nil, err
@@ -177,12 +186,13 @@ func Figure7(opts Options) ([]*Table, error) {
 // Figure8 runs the expert algorithms on the additional topologies (two
 // and four servers of four GPUs each).
 func Figure8(opts Options) ([]*Table, error) {
-	return bwFigure("fig8", "Expert-designed bandwidth (additional topologies)", opts,
+	return bwFigure("fig8", "Expert-designed bandwidth (additional topologies)", opts.init(),
 		[][2]int{{2, 4}, {4, 4}}, expertBuilder, false)
 }
 
 // Figure9 runs the synthesized algorithms on the additional topologies.
 func Figure9(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	ta, err := bwFigure("fig9", "TACCL-synthesized speedup (additional topologies)", opts,
 		[][2]int{{2, 4}, {4, 4}}, tacclBuilder, true)
 	if err != nil {
@@ -200,6 +210,7 @@ func Figure9(opts Options) ([]*Table, error) {
 // HM-AllGather, HM-ReduceScatter and HM-AllReduce under all three
 // backends across buffer sizes.
 func Figure11(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	tp := topo.New(2, 8, topo.V100())
 	bufs := bufSweep(opts, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 256 << 20, 512 << 20, 1 << 30, 2 << 30, 4 << 30})
 	ops := []struct {
@@ -216,7 +227,7 @@ func Figure11(opts Options) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		series, err := bandwidth(tp, algo, bufs)
+		series, err := bandwidth(opts, tp, algo, bufs)
 		if err != nil {
 			return nil, err
 		}

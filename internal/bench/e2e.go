@@ -10,9 +10,7 @@ import (
 // throughput for T5 models under data parallelism and GPT-3 models under
 // tensor parallelism, with each backend serving the collectives.
 func Figure13(opts Options) ([]*Table, error) {
-	type deployment struct {
-		cfg train.Config
-	}
+	opts = opts.init()
 	t5 := &Table{
 		ID:     "fig13",
 		Title:  "T5 training throughput (data parallelism, 16 GPUs, batch 16)",
@@ -42,31 +40,44 @@ func Figure13(opts Options) ([]*Table, error) {
 		gptCases = gptCases[:2]
 	}
 
-	for _, m := range t5Models {
-		cfg := train.Config{Model: m, GlobalBatch: 16, TP: 1, DP: 16, NNodes: 2, GPN: 8}
+	// One cell per model deployment; each training comparison is
+	// independent (train.Compare builds its own plans internally).
+	t5Rows := make([][]string, len(t5Models))
+	gptRows := make([][]string, len(gptCases))
+	err := runCells(opts, len(t5Models)+len(gptCases), func(c int) error {
+		if c < len(t5Models) {
+			m := t5Models[c]
+			cfg := train.Config{Model: m, GlobalBatch: 16, TP: 1, DP: 16, NNodes: 2, GPN: 8}
+			res, err := train.Compare(cfg, backends()...)
+			if err != nil {
+				return fmt.Errorf("fig13 %s: %w", m.Name, err)
+			}
+			t5Rows[c] = []string{m.Name,
+				fmt.Sprintf("%.1f", res["NCCL"].Throughput),
+				fmt.Sprintf("%.1f", res["MSCCL"].Throughput),
+				fmt.Sprintf("%.1f", res["ResCCL"].Throughput),
+				fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["NCCL"].Throughput),
+				fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput)}
+			return nil
+		}
+		gc := gptCases[c-len(t5Models)]
+		cfg := train.Config{Model: gc.m, GlobalBatch: gc.batch, TP: 8, DP: gc.nodes, NNodes: gc.nodes, GPN: 8}
 		res, err := train.Compare(cfg, backends()...)
 		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", m.Name, err)
+			return fmt.Errorf("fig13 %s: %w", gc.m.Name, err)
 		}
-		t5.AddRow(m.Name,
-			fmt.Sprintf("%.1f", res["NCCL"].Throughput),
-			fmt.Sprintf("%.1f", res["MSCCL"].Throughput),
-			fmt.Sprintf("%.1f", res["ResCCL"].Throughput),
-			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["NCCL"].Throughput),
-			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput))
-	}
-	for _, c := range gptCases {
-		cfg := train.Config{Model: c.m, GlobalBatch: c.batch, TP: 8, DP: c.nodes, NNodes: c.nodes, GPN: 8}
-		res, err := train.Compare(cfg, backends()...)
-		if err != nil {
-			return nil, fmt.Errorf("fig13 %s: %w", c.m.Name, err)
-		}
-		gpt.AddRow(c.m.Name, fmt.Sprintf("%d", c.nodes*8),
+		gptRows[c-len(t5Models)] = []string{gc.m.Name, fmt.Sprintf("%d", gc.nodes*8),
 			fmt.Sprintf("%.2f", res["NCCL"].Throughput),
 			fmt.Sprintf("%.2f", res["MSCCL"].Throughput),
 			fmt.Sprintf("%.2f", res["ResCCL"].Throughput),
 			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["NCCL"].Throughput),
-			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput))
+			fmt.Sprintf("%.2fx", res["ResCCL"].Throughput/res["MSCCL"].Throughput)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t5.Rows = t5Rows
+	gpt.Rows = gptRows
 	return []*Table{t5, gpt}, nil
 }

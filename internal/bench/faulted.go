@@ -21,6 +21,7 @@ import (
 // downed links retry with backoff and degrade their sub-pipeline when
 // the budget runs out, and the result must still verify.
 func Faulted(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	tp := topo.New(2, 8, topo.A100())
 	buf := int64(256 << 20)
 	rates := []int{0, 4, 8, 16}
@@ -33,11 +34,11 @@ func Faulted(opts Options) ([]*Table, error) {
 		return nil, err
 	}
 
-	goodput, err := faultSweep(tp, algo, buf, rates)
+	goodput, err := faultSweep(opts, tp, algo, buf, rates)
 	if err != nil {
 		return nil, err
 	}
-	recovery, err := recoveryTable()
+	recovery, err := recoveryTable(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +48,7 @@ func Faulted(opts Options) ([]*Table, error) {
 // faultSweep runs every backend's plan under seeded schedules of
 // growing event count. The horizon is each plan's own clean completion
 // time, so a rate of N means N events land while the collective runs.
-func faultSweep(tp *topo.Topology, algo *ir.Algorithm, buf int64, rates []int) (*Table, error) {
+func faultSweep(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int64, rates []int) (*Table, error) {
 	t := &Table{
 		ID:    "faulted",
 		Title: "Goodput under injected faults (HM AllReduce, 2×8, GB/s)",
@@ -59,36 +60,47 @@ func faultSweep(tp *topo.Topology, algo *ir.Algorithm, buf int64, rates []int) (
 	for _, r := range rates {
 		t.Header = append(t.Header, fmt.Sprintf("%d events", r))
 	}
-	for _, b := range backends() {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+	// Each backend is one cell: the faulted runs depend on the clean
+	// run's completion time (the schedule horizon), so they stay chained
+	// within the cell.
+	bks := backends()
+	rows := make([][]string, len(bks))
+	err := runCells(opts, len(bks), func(c int) error {
+		b := bks[c]
+		plan, err := compile(opts, b, backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		clean, err := runPlan(tp, plan, buf, defaultChunk)
+		clean, err := runPlan(opts, tp, plan, buf, defaultChunk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []string{b.Name()}
 		for _, n := range rates {
 			sched := FaultSchedule(tp, 7, n, clean.Completion, len(plan.Kernel.TBs))
-			res, err := sim.Run(sim.Config{
+			res, err := runSim(opts, sim.Config{
 				Topo: tp, Kernel: plan.Kernel,
 				BufferBytes: buf, ChunkBytes: defaultChunk,
 				Faults: sched,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s n=%d: %w", b.Name(), n, err)
+				return fmt.Errorf("%s n=%d: %w", b.Name(), n, err)
 			}
 			row = append(row, gb(res.AlgoBW))
 		}
-		t.AddRow(row...)
+		rows[c] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // recoveryTable drives the data-plane runtime under an outage on one
 // NIC and reports the recovery protocol's actions.
-func recoveryTable() (*Table, error) {
+func recoveryTable(opts Options) (*Table, error) {
 	t := &Table{
 		ID:     "faulted",
 		Title:  "Runtime recovery under a NIC outage (ResCCL kernel, 2×2, 4 micro-batches)",
@@ -102,7 +114,7 @@ func recoveryTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := compile(opts, backend.NewResCCL(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +128,9 @@ func recoveryTable() (*Table, error) {
 		{"long outage (degrade)", fault.Event{Kind: fault.KindLinkDown, Start: 0, Duration: 1e-2,
 			Resources: []topo.ResourceID{eg, in}, Attempts: 6}},
 	}
-	for _, sc := range scenarios {
+	rows := make([][]string, len(scenarios))
+	err = runCells(opts, len(scenarios), func(c int) error {
+		sc := scenarios[c]
 		res, err := rt.Execute(rt.Config{
 			Kernel:       plan.Kernel,
 			MicroBatches: 4,
@@ -124,7 +138,7 @@ func recoveryTable() (*Table, error) {
 			Recovery:     rt.RecoveryPolicy{MaxRetries: 3, Backoff: 50 * time.Microsecond},
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		verified := "yes"
 		if err := res.Verify(); err != nil {
@@ -141,9 +155,14 @@ func recoveryTable() (*Table, error) {
 				degraded++
 			}
 		}
-		t.AddRow(sc.label, fmt.Sprint(retries), fmt.Sprint(recovered),
-			fmt.Sprint(degraded), fmt.Sprint(res.DegradedSubs), verified)
+		rows[c] = []string{sc.label, fmt.Sprint(retries), fmt.Sprint(recovered),
+			fmt.Sprint(degraded), fmt.Sprint(res.DegradedSubs), verified}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/core"
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
@@ -19,6 +20,7 @@ import (
 // isolating the overhead the paper attributes to online plan parsing
 // (average loss 17.1%).
 func Figure3(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	tp := topo.New(2, 8, topo.A100())
 	bufs := bufSweep(opts, []int64{32 << 20, 128 << 20, 512 << 20, 2 << 30})
 	cases := []struct {
@@ -34,34 +36,53 @@ func Figure3(opts Options) ([]*Table, error) {
 		Header: []string{"Algorithm", "Buffer", "direct (GB/s)", "interpreted (GB/s)", "loss"},
 		Notes:  []string{"paper: average performance loss 17.1%"},
 	}
-	var lossSum float64
-	var lossN int
-	for _, c := range cases {
+	// One cell per (algorithm, buffer): both execution modes of one
+	// point. The two compilations per case are deduplicated by the plan
+	// cache across cells.
+	type point struct{ direct, interp float64 }
+	points := make([]point, len(cases)*len(bufs))
+	algos := make([]*ir.Algorithm, len(cases))
+	for i, c := range cases {
 		algo, err := c.build()
 		if err != nil {
 			return nil, err
 		}
-		direct, err := core.Compile(algo, tp, core.Options{Mode: kernel.ModeDirect})
+		algos[i] = algo
+	}
+	err := runCells(opts, len(points), func(c int) error {
+		ci, fi := c/len(bufs), c%len(bufs)
+		req := backend.Request{Algo: algos[ci], Topo: tp}
+		direct, err := compile(opts, &backend.ResCCL{Options: core.Options{Mode: kernel.ModeDirect}}, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		interp, err := core.Compile(algo, tp, core.Options{Mode: kernel.ModeInterpreted})
+		interp, err := compile(opts, &backend.ResCCL{Options: core.Options{Mode: kernel.ModeInterpreted}}, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, buf := range bufs {
-			rd, err := sim.Run(sim.Config{Topo: tp, Kernel: direct.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
-			if err != nil {
-				return nil, err
-			}
-			ri, err := sim.Run(sim.Config{Topo: tp, Kernel: interp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
-			if err != nil {
-				return nil, err
-			}
-			loss := 1 - ri.AlgoBW/rd.AlgoBW
+		rd, err := runPlan(opts, tp, direct, bufs[fi], defaultChunk)
+		if err != nil {
+			return err
+		}
+		ri, err := runPlan(opts, tp, interp, bufs[fi], defaultChunk)
+		if err != nil {
+			return err
+		}
+		points[c] = point{direct: rd.AlgoBW, interp: ri.AlgoBW}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var lossSum float64
+	var lossN int
+	for ci, c := range cases {
+		for fi, buf := range bufs {
+			p := points[ci*len(bufs)+fi]
+			loss := 1 - p.interp/p.direct
 			lossSum += loss
 			lossN++
-			t.AddRow(c.label, mbLabel(buf), gb(rd.AlgoBW), gb(ri.AlgoBW), pct(loss))
+			t.AddRow(c.label, mbLabel(buf), gb(p.direct), gb(p.interp), pct(loss))
 		}
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("measured average loss %s", pct(lossSum/float64(lossN))))
@@ -75,6 +96,7 @@ func Figure3(opts Options) ([]*Table, error) {
 // rate), so bandwidth rises until four TBs saturate the link and
 // degrades beyond it under the Eq. 1 contention penalty.
 func Figure4(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	prof := topo.A100()
 	prof.TBCapInter = prof.NICBW / 4
 	tp := topo.New(2, 2, prof, topo.WithNICs(1))
@@ -89,12 +111,20 @@ func Figure4(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		counts = []int{1, 2, 4, 8}
 	}
-	for _, k := range counts {
-		bw, err := singleNICBandwidth(tp, k)
+	bws := make([]float64, len(counts))
+	err := runCells(opts, len(counts), func(i int) error {
+		bw, err := singleNICBandwidth(opts, tp, counts[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(fmt.Sprintf("%d", k), gb(bw), pct(bw/prof.NICBW))
+		bws[i] = bw
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range counts {
+		t.AddRow(fmt.Sprintf("%d", k), gb(bws[i]), pct(bws[i]/prof.NICBW))
 	}
 	return []*Table{t}, nil
 }
@@ -102,7 +132,7 @@ func Figure4(opts Options) ([]*Table, error) {
 // singleNICBandwidth builds a hand-rolled kernel with k TB pairs each
 // streaming chunks from rank 0 to rank 2 (across the NIC) and returns
 // the achieved aggregate NIC goodput.
-func singleNICBandwidth(tp *topo.Topology, k int) (float64, error) {
+func singleNICBandwidth(opts Options, tp *topo.Topology, k int) (float64, error) {
 	algo := &ir.Algorithm{
 		Name:    fmt.Sprintf("p2p-%dtb", k),
 		Op:      ir.OpAllGather,
@@ -139,7 +169,7 @@ func singleNICBandwidth(tp *topo.Topology, k int) (float64, error) {
 	}
 	// 1 GiB buffer over 4k chunks of 1 MiB → each TB streams 256/k
 	// micro-batches; total NIC payload is constant at 256 MiB.
-	res, err := sim.Run(sim.Config{Topo: tp, Kernel: kern, BufferBytes: 1 << 30, ChunkBytes: defaultChunk})
+	res, err := runSim(opts, sim.Config{Topo: tp, Kernel: kern, BufferBytes: 1 << 30, ChunkBytes: defaultChunk})
 	if err != nil {
 		return 0, err
 	}
@@ -195,6 +225,7 @@ func hmARSource(nNodes, gpn int) string {
 // schedule, lower) compiling the HM AllReduce DSL program for clusters
 // of 8 to 1024 emulated GPUs.
 func Figure10a(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	t := &Table{
 		ID:     "fig10a",
 		Title:  "Offline workflow phase scalability (HM AllReduce via ResCCLang)",
@@ -205,21 +236,32 @@ func Figure10a(opts Options) ([]*Table, error) {
 	if opts.Quick {
 		scales = [][2]int{{2, 4}, {2, 8}, {4, 8}, {8, 8}}
 	}
-	for _, sc := range scales {
-		nNodes, gpn := sc[0], sc[1]
+	// The rows report *measured* wall-clock phase timings, so this is
+	// the one experiment whose cell outputs are not bit-reproducible
+	// between runs (serial or parallel); the task counts are.
+	rows := make([][]string, len(scales))
+	err := runCells(opts, len(scales), func(i int) error {
+		nNodes, gpn := scales[i][0], scales[i][1]
 		tp := topo.New(nNodes, gpn, topo.A100())
 		src := hmARSource(nNodes, gpn)
 		// Correctness of the generated program is covered by tests; the
 		// scalability run times only the paper's four phases.
 		c, err := core.CompileDSL(src, tp, core.Options{SkipVerify: true})
 		if err != nil {
-			return nil, fmt.Errorf("fig10a %d GPUs: %w", nNodes*gpn, err)
+			return fmt.Errorf("fig10a %d GPUs: %w", nNodes*gpn, err)
 		}
 		ph := c.Phases
-		t.AddRow(fmt.Sprintf("%d", nNodes*gpn),
+		rows[i] = []string{fmt.Sprintf("%d", nNodes*gpn),
 			fmt.Sprintf("%d", len(c.Graph.Tasks)),
 			ph.Parse.String(), ph.Analyze.String(), ph.Schedule.String(), ph.Lower.String(),
-			ph.Total().String())
+			ph.Total().String()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []*Table{t}, nil
 }
@@ -228,6 +270,7 @@ func Figure10a(opts Options) ([]*Table, error) {
 // on the paper's 8-GPU two-server topology, for expert and synthesized
 // algorithms.
 func Figure10b(opts Options) ([]*Table, error) {
+	opts = opts.init()
 	tp := topo.New(2, 4, topo.A100())
 	buf := int64(512 << 20)
 	if opts.Quick {
@@ -253,26 +296,39 @@ func Figure10b(opts Options) ([]*Table, error) {
 		{"TECCL-AllGather", func() (*ir.Algorithm, error) { return synth.TECCLAllGather(2, 4) }},
 		{"TECCL-AllReduce", func() (*ir.Algorithm, error) { return synth.TECCLAllReduce(2, 4) }},
 	}
-	for _, c := range cases {
+	policies := []sched.Policy{sched.PolicySequential, sched.PolicyRR, sched.PolicyHPDS}
+	algos := make([]*ir.Algorithm, len(cases))
+	for i, c := range cases {
 		algo, err := c.build()
 		if err != nil {
 			return nil, err
 		}
-		bw := map[sched.Policy]float64{}
-		for _, pol := range []sched.Policy{sched.PolicySequential, sched.PolicyRR, sched.PolicyHPDS} {
-			comp, err := core.Compile(algo, tp, core.Options{Policy: pol})
-			if err != nil {
-				return nil, fmt.Errorf("fig10b %s/%v: %w", c.label, pol, err)
-			}
-			res, err := sim.Run(sim.Config{Topo: tp, Kernel: comp.Kernel, BufferBytes: buf, ChunkBytes: defaultChunk})
-			if err != nil {
-				return nil, fmt.Errorf("fig10b %s/%v: %w", c.label, pol, err)
-			}
-			bw[pol] = res.AlgoBW
+		algos[i] = algo
+	}
+	bws := make([]float64, len(cases)*len(policies))
+	err := runCells(opts, len(bws), func(cell int) error {
+		ci, pi := cell/len(policies), cell%len(policies)
+		pol := policies[pi]
+		plan, err := compile(opts, &backend.ResCCL{Options: core.Options{Policy: pol}},
+			backend.Request{Algo: algos[ci], Topo: tp})
+		if err != nil {
+			return fmt.Errorf("fig10b %s/%v: %w", cases[ci].label, pol, err)
 		}
-		t.AddRow(c.label, gb(bw[sched.PolicySequential]), gb(bw[sched.PolicyRR]), gb(bw[sched.PolicyHPDS]),
-			fmt.Sprintf("%.2fx", bw[sched.PolicyHPDS]/bw[sched.PolicyRR]),
-			fmt.Sprintf("%.2fx", bw[sched.PolicyHPDS]/bw[sched.PolicySequential]))
+		res, err := runPlan(opts, tp, plan, buf, defaultChunk)
+		if err != nil {
+			return fmt.Errorf("fig10b %s/%v: %w", cases[ci].label, pol, err)
+		}
+		bws[cell] = res.AlgoBW
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		seq, rr, hpds := bws[ci*len(policies)], bws[ci*len(policies)+1], bws[ci*len(policies)+2]
+		t.AddRow(c.label, gb(seq), gb(rr), gb(hpds),
+			fmt.Sprintf("%.2fx", hpds/rr),
+			fmt.Sprintf("%.2fx", hpds/seq))
 	}
 	return []*Table{t}, nil
 }

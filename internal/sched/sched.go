@@ -16,7 +16,6 @@ package sched
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
@@ -353,8 +352,11 @@ func (h *chunkHeap) Pop() any {
 func Validate(g *dag.Graph, p *Pipeline) error {
 	seen := make([]bool, len(g.Tasks))
 	count := 0
+	// One link-count map serves every sub-pipeline; clearing it between
+	// iterations avoids an allocation per sub.
+	links := make(map[topo.LinkID]int)
 	for _, sub := range p.Subs {
-		links := make(map[topo.LinkID]int, len(sub.Tasks))
+		clear(links)
 		for _, t := range sub.Tasks {
 			if seen[t] {
 				return fmt.Errorf("task %d scheduled twice", t)
@@ -389,12 +391,13 @@ func Validate(g *dag.Graph, p *Pipeline) error {
 // NSubs returns the number of sub-pipelines.
 func (p *Pipeline) NSubs() int { return len(p.Subs) }
 
-// OrderedTasks returns all tasks in global scheduling order.
+// OrderedTasks returns all tasks in global scheduling order. TaskPos is
+// a permutation of 0..n-1, so the order is materialized with a single
+// O(n) inverse fill instead of a sort.
 func (p *Pipeline) OrderedTasks() []ir.TaskID {
-	out := make([]ir.TaskID, 0, len(p.TaskPos))
-	for t := range p.TaskPos {
-		out = append(out, ir.TaskID(t))
+	out := make([]ir.TaskID, len(p.TaskPos))
+	for t, pos := range p.TaskPos {
+		out[pos] = ir.TaskID(t)
 	}
-	sort.Slice(out, func(i, j int) bool { return p.TaskPos[out[i]] < p.TaskPos[out[j]] })
 	return out
 }

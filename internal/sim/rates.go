@@ -33,6 +33,15 @@ type rateScratch struct {
 	rates     []float64
 	frozen    []bool
 	effCap    []float64
+	// caps[i] is flowCap(flows[i]), computed once per maxMin round
+	// instead of once per progressive-filling iteration.
+	caps []float64
+	// resFlat/resOff give, for component resource i, the component flow
+	// indices on it: resFlat[resOff[i]:resOff[i+1]]. Precomputed so the
+	// filling loops stop re-walking s.resFlows[r] and re-translating
+	// global ids through flowIdx.
+	resFlat []int32
+	resOff  []int32
 }
 
 func (rs *rateScratch) init(nTasks, nResources int) {
@@ -115,9 +124,39 @@ func nearlyEqual(a, b float64) bool {
 func (s *sim) maxMin() {
 	rs := &s.scratch
 	nf := len(rs.flows)
+	nr := len(rs.resources)
 	rs.rates = resize(rs.rates, nf)
 	rs.frozen = resizeBool(rs.frozen, nf)
-	rs.effCap = resize(rs.effCap, len(rs.resources))
+	rs.effCap = grow(rs.effCap, nr)
+
+	// Per-flow caps, computed once: flowCap consults the fault engine
+	// under active faults, and the filling loops below would otherwise
+	// re-derive it every iteration.
+	rs.caps = grow(rs.caps, nf)
+	for i, f := range rs.flows {
+		rs.caps[i] = s.flowCap(f)
+	}
+
+	// Flat per-resource flow-index lists. Every flow on a component
+	// resource is itself in the component (the BFS in recomputeAround
+	// guarantees it), so flowIdx translations are valid here and need not
+	// be repeated inside the filling loops.
+	total := 0
+	for _, r := range rs.resources {
+		total += len(s.resFlows[r])
+	}
+	rs.resOff = growInt32(rs.resOff, nr+1)
+	rs.resFlat = growInt32(rs.resFlat, total)
+	pos := 0
+	for i, r := range rs.resources {
+		rs.resOff[i] = int32(pos)
+		for _, f := range s.resFlows[r] {
+			rs.resFlat[pos] = rs.flowIdx[f]
+			pos++
+		}
+	}
+	rs.resOff[nr] = int32(pos)
+	resFlows := func(i int) []int32 { return rs.resFlat[rs.resOff[i]:rs.resOff[i+1]] }
 
 	// Effective capacities with the Eq. 1 contention penalty. A single
 	// over-capable TB simply runs at link rate; contention needs ≥2
@@ -130,10 +169,10 @@ func (s *sim) maxMin() {
 		if s.fault != nil {
 			c *= s.fault.capFactor[r]
 		}
-		if s.topo.Kind(r) == topo.KindSerialLink && len(s.resFlows[r]) > 1 {
+		if flows := resFlows(i); s.topo.Kind(r) == topo.KindSerialLink && len(flows) > 1 {
 			demand := 0.0
-			for _, f := range s.resFlows[r] {
-				demand += s.flowCap(f)
+			for _, fi := range flows {
+				demand += rs.caps[fi]
 			}
 			if z := demand / c; z > 1 {
 				over := z - 1
@@ -153,11 +192,10 @@ func (s *sim) maxMin() {
 	for unfrozen > 0 {
 		// Next saturation level across resources and flow caps.
 		next := inf
-		for i, r := range rs.resources {
+		for i := 0; i < nr; i++ {
 			frozenLoad := 0.0
 			n := 0
-			for _, f := range s.resFlows[r] {
-				fi := rs.flowIdx[f]
+			for _, fi := range resFlows(i) {
 				if rs.frozen[fi] {
 					frozenLoad += rs.rates[fi]
 				} else {
@@ -171,15 +209,15 @@ func (s *sim) maxMin() {
 				next = sat
 			}
 		}
-		for i, f := range rs.flows {
-			if !rs.frozen[i] && s.flowCap(f) < next {
-				next = s.flowCap(f)
+		for i := 0; i < nf; i++ {
+			if !rs.frozen[i] && rs.caps[i] < next {
+				next = rs.caps[i]
 			}
 		}
 		if next >= inf {
-			for i, f := range rs.flows {
+			for i := 0; i < nf; i++ {
 				if !rs.frozen[i] {
-					rs.rates[i] = s.flowCap(f)
+					rs.rates[i] = rs.caps[i]
 					rs.frozen[i] = true
 					unfrozen--
 				}
@@ -192,20 +230,19 @@ func (s *sim) maxMin() {
 		rho = next
 		progress := false
 		// Freeze flows capped at rho.
-		for i, f := range rs.flows {
-			if !rs.frozen[i] && s.flowCap(f) <= rho*(1+1e-12) {
-				rs.rates[i] = s.flowCap(f)
+		for i := 0; i < nf; i++ {
+			if !rs.frozen[i] && rs.caps[i] <= rho*(1+1e-12) {
+				rs.rates[i] = rs.caps[i]
 				rs.frozen[i] = true
 				unfrozen--
 				progress = true
 			}
 		}
 		// Freeze flows on saturated resources.
-		for i, r := range rs.resources {
+		for i := 0; i < nr; i++ {
 			frozenLoad := 0.0
 			n := 0
-			for _, f := range s.resFlows[r] {
-				fi := rs.flowIdx[f]
+			for _, fi := range resFlows(i) {
 				if rs.frozen[fi] {
 					frozenLoad += rs.rates[fi]
 				} else {
@@ -216,8 +253,7 @@ func (s *sim) maxMin() {
 				continue
 			}
 			if frozenLoad+float64(n)*rho >= rs.effCap[i]*(1-1e-12) {
-				for _, f := range s.resFlows[r] {
-					fi := rs.flowIdx[f]
+				for _, fi := range resFlows(i) {
 					if !rs.frozen[fi] {
 						rs.rates[fi] = rho
 						rs.frozen[fi] = true
@@ -260,4 +296,20 @@ func resizeBool(s []bool, n int) []bool {
 		s[i] = false
 	}
 	return s
+}
+
+// grow returns s with length n without zeroing — for buffers whose every
+// element is overwritten before use.
+func grow(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }

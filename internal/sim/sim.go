@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -133,6 +132,10 @@ type Result struct {
 	LinkBusy map[topo.LinkID]float64
 	// Instances is the number of task invocations executed.
 	Instances int
+	// Events is the total number of discrete events the simulator
+	// processed over the whole run (shared across sessions in a
+	// concurrent run) — the harness's throughput denominator.
+	Events int
 	// Faults lists the fault windows the simulator applied (opened)
 	// during the run, in firing order. Empty for fault-free runs.
 	Faults []FaultEvent
@@ -147,6 +150,8 @@ type MultiResult struct {
 	Sessions []*Result
 	// LinkBusy aggregates busy time over all sessions.
 	LinkBusy map[topo.LinkID]float64
+	// Events is the total number of discrete events processed.
+	Events int
 	// Faults lists the applied fault windows, shared across sessions.
 	Faults []FaultEvent
 }
@@ -230,18 +235,61 @@ type event struct {
 	version int // guards stale data-done events after rate changes
 }
 
+// eventHeap is a hand-rolled binary min-heap over event values. The
+// standard container/heap would box every event into an interface on
+// Push and Pop — one allocation each — which dominates the simulator's
+// steady-state allocation profile; the typed heap keeps events inline.
 type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	// Sift up.
+	hh := *h
+	i := len(hh) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hh.less(i, parent) {
+			break
+		}
+		hh[i], hh[parent] = hh[parent], hh[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	hh := *h
+	n := len(hh) - 1
+	top := hh[0]
+	hh[0] = hh[n]
+	*h = hh[:n]
+	hh = hh[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && hh.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && hh.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		hh[i], hh[smallest] = hh[smallest], hh[i]
+		i = smallest
+	}
+	return top
+}
 
 type tbState struct {
 	prog *kernel.TBProgram
@@ -334,6 +382,8 @@ type sim struct {
 	usedLinks    map[topo.LinkID]struct{}
 
 	doneTBs int
+	// processed counts events handled by run().
+	processed int
 
 	// scratch holds the allocation-free working state of the rate
 	// computation (rates.go).
@@ -438,7 +488,7 @@ func (s *sim) sess(t gid) *session { return s.sessions[s.tasks[t].sess] }
 func (s *sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 func (s *sim) run() error {
@@ -468,7 +518,7 @@ func (s *sim) run() error {
 		if s.fault != nil && s.doneTBs == len(s.tbs) {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		processed++
 		if processed > maxEvents {
 			return fmt.Errorf("sim: event budget exceeded (%d events) — livelock", processed)
@@ -487,6 +537,7 @@ func (s *sim) run() error {
 			s.applyFaultBound(int(e.task))
 		}
 	}
+	s.processed = processed
 	if s.doneTBs != len(s.tbs) {
 		return s.deadlockError()
 	}
@@ -705,6 +756,7 @@ func (s *sim) result() *MultiResult {
 	mr := &MultiResult{
 		Completion: s.now,
 		LinkBusy:   make(map[topo.LinkID]float64, len(s.usedLinks)),
+		Events:     s.processed,
 	}
 	if s.fault != nil {
 		mr.Faults = s.fault.applied
@@ -717,6 +769,7 @@ func (s *sim) result() *MultiResult {
 			Completion: se.completion,
 			Plan:       se.plan,
 			Instances:  se.instances,
+			Events:     s.processed,
 			LinkBusy:   mr.LinkBusy,
 			Faults:     mr.Faults,
 		}
