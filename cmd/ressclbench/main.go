@@ -44,6 +44,8 @@ type perfRecord struct {
 	TotalWallMS  float64          `json:"total_wall_ms"`
 	SimEvents    int64            `json:"sim_events"`
 	SimRuns      int64            `json:"sim_runs"`
+	RTInstances  int64            `json:"rt_instances"`
+	Replans      int64            `json:"replans"`
 	EventsPerSec float64          `json:"events_per_sec"`
 	CacheHits    int64            `json:"cache_hits"`
 	CacheMisses  int64            `json:"cache_misses"`
@@ -155,6 +157,8 @@ func main() {
 	rec.TotalWallMS = float64(total.Microseconds()) / 1e3
 	rec.SimEvents = stats.SimEvents()
 	rec.SimRuns = stats.SimRuns()
+	rec.RTInstances = stats.RTInstances()
+	rec.Replans = stats.Replans()
 	if s := total.Seconds(); s > 0 {
 		rec.EventsPerSec = float64(stats.SimEvents()) / s
 	}

@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/topo"
 	"github.com/resccl/resccl/internal/train"
 )
 
@@ -39,6 +41,7 @@ func main() {
 		bk    = flag.String("backend", "all", "backend: resccl, nccl, msccl or all")
 		frate = flag.Int("fault-rate", 0, "inject N seeded fault events per collective (0 = none)")
 		fseed = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+		fspec = flag.String("fault-spec", "", "JSON fault-schedule file (see docs/faults.md); mutually exclusive with -fault-rate")
 	)
 	flag.Parse()
 
@@ -67,6 +70,24 @@ func main() {
 		TP: width, DP: depth, NNodes: *nodes, GPN: *gpus,
 		FaultRate: *frate, FaultSeed: *fseed,
 	}
+	if *fspec != "" {
+		if *frate > 0 {
+			fatal(fmt.Errorf("-fault-spec and -fault-rate are mutually exclusive"))
+		}
+		data, err := os.ReadFile(*fspec)
+		if err != nil {
+			fatal(err)
+		}
+		// Spec resource IDs name the full cluster topology; thread-block
+		// bounds are checked later by the simulator against each compiled
+		// kernel.
+		cluster := topo.New(*nodes, *gpus, topo.A100())
+		sched, err := fault.ParseSchedule(data, cluster, 0)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *fspec, err))
+		}
+		cfg.Faults = sched
+	}
 
 	var bks []backend.Backend
 	switch strings.ToLower(*bk) {
@@ -85,6 +106,9 @@ func main() {
 	fmt.Printf("%s on %d×%d GPUs, TP=%d DP=%d, batch %d", m.Name, *nodes, *gpus, width, depth, *batch)
 	if *frate > 0 {
 		fmt.Printf(", %d fault events/collective (seed %d)", *frate, *fseed)
+	}
+	if cfg.Faults != nil {
+		fmt.Printf(", %d fault events from %s", len(cfg.Faults.Events), *fspec)
 	}
 	fmt.Printf("\n\n")
 	fmt.Printf("%-8s %11s %12s %12s %12s %9s %8s %12s\n",

@@ -15,8 +15,9 @@ import (
 // produces byte-identical tables to a serial one: ordering never depends
 // on goroutine scheduling, and the plan cache's singleflight keeps
 // hit/miss counts deterministic too. The only quantities that may differ
-// between two runs of any kind are measured wall-clock phase timings
-// (Figure 10a), which are non-deterministic even serially.
+// between two runs of any kind are measured wall-clock timings — the
+// Figure 10a phase timings and the faulted replan table's recovery
+// columns — which are non-deterministic even serially.
 
 // runCells executes cells 0..n-1 through the worker pool when
 // opts.Parallel is set, serially otherwise. The returned error is the
@@ -70,8 +71,10 @@ func runCells(opts Options, n int, cell func(i int) error) error {
 // run. All methods are safe for concurrent use and tolerate a nil
 // receiver (counting disabled).
 type Stats struct {
-	simEvents atomic.Int64
-	simRuns   atomic.Int64
+	simEvents   atomic.Int64
+	simRuns     atomic.Int64
+	rtInstances atomic.Int64
+	replans     atomic.Int64
 }
 
 // NewStats returns a fresh counter set.
@@ -100,6 +103,33 @@ func (s *Stats) SimRuns() int64 {
 		return 0
 	}
 	return s.simRuns.Load()
+}
+
+// AddRTRun records one data-plane runtime execution: its completed
+// primitive-instance count and how many plan-level replans it took.
+func (s *Stats) AddRTRun(instances, replans int) {
+	if s == nil {
+		return
+	}
+	s.rtInstances.Add(int64(instances))
+	s.replans.Add(int64(replans))
+}
+
+// RTInstances returns the total primitive instances the runtime
+// executed across recorded runs.
+func (s *Stats) RTInstances() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rtInstances.Load()
+}
+
+// Replans returns the total plan-level recoveries recorded.
+func (s *Stats) Replans() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.replans.Load()
 }
 
 // runSim is the harness's counted sim.Run wrapper.

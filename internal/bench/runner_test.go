@@ -12,18 +12,24 @@ import (
 
 // renderCSV renders an experiment's tables the way the CLI does, with
 // measured wall-clock cells masked: any cell that parses as a
-// time.Duration is a phase timing (Figure 10a) and is non-deterministic
-// between runs even serially, so it cannot participate in the
-// byte-equality check. Everything else — every simulated quantity — must
-// match exactly.
+// time.Duration (Figure 10a's phase timings) or sits in a column whose
+// header carries the "(wall" marker (the faulted replan table's recovery
+// columns) is non-deterministic between runs even serially, so it cannot
+// participate in the byte-equality check. Everything else — every
+// simulated quantity — must match exactly.
 func renderCSV(tables []*Table) string {
 	var sb strings.Builder
 	for _, t := range tables {
 		masked := &Table{ID: t.ID, Title: t.Title, Header: t.Header, Notes: t.Notes}
+		wall := make([]bool, len(t.Header))
+		for i, h := range t.Header {
+			wall[i] = strings.Contains(h, "(wall")
+		}
 		for _, row := range t.Rows {
 			out := make([]string, len(row))
 			for i, c := range row {
-				if _, err := time.ParseDuration(c); err == nil {
+				_, err := time.ParseDuration(c)
+				if err == nil || (i < len(wall) && wall[i]) {
 					out[i] = "<wall-clock>"
 				} else {
 					out[i] = c

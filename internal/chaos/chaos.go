@@ -1,0 +1,207 @@
+// Package chaos is the property-based fault harness: a seeded sweep
+// over random topologies × collectives × fault schedules (transient and
+// permanent), asserting the system-level recovery contract on every
+// case —
+//
+//   - the run completes and the semantic verifier (internal/verify)
+//     proves its trace and buffers, or
+//   - it fails with a typed, actionable error (rt.ErrPartitioned,
+//     rt.ErrUnrecoverable), and
+//   - it never hangs (the runtime watchdog bounds every case) and never
+//     silently corrupts (an unverified completion is a harness failure).
+//
+// Everything derives from Config.Seed, so a failing case replays
+// exactly by number.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/rt"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Config parameterises a sweep.
+type Config struct {
+	// Seed drives every random choice; equal configs replay equal cases.
+	Seed int64
+	// Cases is the number of cases to run.
+	Cases int
+	// Watchdog bounds each case's no-progress window (default 2s).
+	Watchdog time.Duration
+}
+
+// Failure records one violated contract.
+type Failure struct {
+	Case int
+	Desc string
+	Err  error
+}
+
+// Report summarises a sweep.
+type Report struct {
+	Cases int
+	// Verified counts runs that completed with the verifier passing;
+	// Replanned is the subset that recovered through at least one
+	// replan. Degraded counts runs that fell back to sequential
+	// sub-pipelines.
+	Verified, Replanned, Degraded int
+	// Partitioned and Unrecoverable count typed, acceptable aborts.
+	Partitioned, Unrecoverable int
+	// Failures lists contract violations: hangs, untyped errors,
+	// unverified completions. Empty on a healthy system.
+	Failures []Failure
+}
+
+// Run executes the sweep. It never returns an error itself: violations
+// are data (Report.Failures), so a test can print every one.
+func Run(cfg Config) Report {
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = 2 * time.Second
+	}
+	rep := Report{Cases: cfg.Cases}
+	for i := 0; i < cfg.Cases; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+		desc, res, err := runCase(rng, cfg.Watchdog)
+		switch {
+		case err == nil:
+			if verr := res.Verify(); verr != nil {
+				rep.Failures = append(rep.Failures, Failure{Case: i, Desc: desc,
+					Err: fmt.Errorf("completed but failed verification: %w", verr)})
+				continue
+			}
+			rep.Verified++
+			if len(res.ReplanEvents) > 0 {
+				rep.Replanned++
+			}
+			if len(res.DegradedSubs) > 0 {
+				rep.Degraded++
+			}
+		case errors.Is(err, rt.ErrPartitioned):
+			rep.Partitioned++
+		case errors.Is(err, rt.ErrUnrecoverable):
+			rep.Unrecoverable++
+		case errors.Is(err, rt.ErrDeadlock):
+			rep.Failures = append(rep.Failures, Failure{Case: i, Desc: desc,
+				Err: fmt.Errorf("hang (watchdog): %w", err)})
+		default:
+			rep.Failures = append(rep.Failures, Failure{Case: i, Desc: desc,
+				Err: fmt.Errorf("untyped failure: %w", err)})
+		}
+	}
+	return rep
+}
+
+// shape is one topology template.
+type shape struct {
+	nodes, gpus, nics int
+	name              string
+}
+
+var shapes = []shape{
+	{1, 4, 0, "1x4"},
+	{1, 8, 0, "1x8"},
+	{2, 2, 2, "2x2/nic-per-gpu"},
+	{2, 2, 0, "2x2/shared-nic"},
+	{2, 4, 4, "2x4/nic-per-gpu"},
+}
+
+// runCase builds and executes one random case. The returned desc names
+// the scenario for failure reports.
+func runCase(rng *rand.Rand, watchdog time.Duration) (string, *rt.Result, error) {
+	sh := shapes[rng.Intn(len(shapes))]
+	var opts []topo.Option
+	if sh.nics > 0 {
+		opts = append(opts, topo.WithNICs(sh.nics))
+	}
+	tp := topo.New(sh.nodes, sh.gpus, topo.A100(), opts...)
+	n := tp.NRanks()
+
+	algo, err := randomAlgo(rng, sh, n)
+	if err != nil {
+		return sh.name, nil, fmt.Errorf("chaos: plan generation: %w", err)
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		return sh.name, nil, fmt.Errorf("chaos: compile %s on %s: %w", algo.Name, sh.name, err)
+	}
+
+	sched := randomFaults(rng, tp)
+	desc := fmt.Sprintf("%s %s faults=%d", sh.name, algo.Name, len(sched.Events))
+	res, err := rt.Execute(rt.Config{
+		Kernel:       plan.Kernel,
+		MicroBatches: 1 + rng.Intn(2),
+		Watchdog:     watchdog,
+		Faults:       sched,
+		Recovery:     rt.RecoveryPolicy{MaxRetries: 3, Backoff: 10 * time.Microsecond},
+	})
+	return desc, res, err
+}
+
+func randomAlgo(rng *rand.Rand, sh shape, n int) (*ir.Algorithm, error) {
+	kind := rng.Intn(7)
+	switch kind {
+	case 0:
+		return expert.MeshAllReduce(n)
+	case 1:
+		return expert.RingAllGather(n)
+	case 2:
+		return expert.RingReduceScatter(n)
+	case 3:
+		return expert.BinomialBroadcast(n)
+	case 4:
+		return expert.DirectAllToAll(n)
+	case 5:
+		if sh.nodes > 1 {
+			return expert.HMAllReduce(sh.nodes, sh.gpus)
+		}
+		return expert.RingAllReduce(n)
+	default:
+		if sh.nodes > 1 {
+			return expert.HMAllGather(sh.nodes, sh.gpus)
+		}
+		return expert.TreeAllReduce(n)
+	}
+}
+
+// randomFaults mixes transient windows with permanent failures. Roughly
+// a third of cases are transient-only, half add dead links, the rest
+// kill a rank.
+func randomFaults(rng *rand.Rand, tp *topo.Topology) *fault.Schedule {
+	s := fault.Generate(tp, fault.Params{
+		Seed:    rng.Int63(),
+		N:       rng.Intn(4),
+		Horizon: 1e-3,
+	})
+	switch roll := rng.Float64(); {
+	case roll < 0.35:
+		// transient-only
+	case roll < 0.85:
+		for k := 1 + rng.Intn(2); k > 0; k-- {
+			s.Events = append(s.Events, fault.LinkOut(randPathResource(rng, tp), 0))
+		}
+	default:
+		s.Events = append(s.Events, fault.RankOut(ir.Rank(rng.Intn(tp.NRanks())), 0))
+	}
+	return s
+}
+
+// randPathResource picks a resource from a random rank pair's path, so
+// permanent failures always land on links collectives can traverse.
+func randPathResource(rng *rand.Rand, tp *topo.Topology) topo.ResourceID {
+	n := tp.NRanks()
+	src := ir.Rank(rng.Intn(n))
+	dst := ir.Rank(rng.Intn(n - 1))
+	if dst >= src {
+		dst++
+	}
+	res := tp.Path(src, dst).Resources
+	return res[rng.Intn(len(res))]
+}

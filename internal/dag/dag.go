@@ -65,6 +65,21 @@ type Graph struct {
 //   - AllReduce / ReduceScatter: every rank holds a local copy of every
 //     chunk (its own contribution to the reduction).
 func InitiallyHolds(op ir.OpType, r ir.Rank, c ir.ChunkID, nRanks, nChunks int) bool {
+	_ = nChunks // the precondition depends only on the rank count
+	return initiallyHolds(op, r, c, nRanks)
+}
+
+// AlgoHolds is InitiallyHolds with the algorithm's Initial override
+// applied: repair plans carry an explicit precondition matrix describing
+// what a partially executed collective already delivered.
+func AlgoHolds(a *ir.Algorithm, r ir.Rank, c ir.ChunkID) bool {
+	if a.Initial != nil {
+		return a.Initial[r][c]
+	}
+	return initiallyHolds(a.Op, r, c, a.NRanks)
+}
+
+func initiallyHolds(op ir.OpType, r ir.Rank, c ir.ChunkID, nRanks int) bool {
 	switch op {
 	case ir.OpAllGather:
 		return int(c)%nRanks == int(r)
@@ -216,7 +231,7 @@ func (g *Graph) buildDataDeps() error {
 			} else {
 				if lastWrite != nil {
 					addDep(a.task, lastWrite.task)
-				} else if !InitiallyHolds(algo.Op, rank, chunk, algo.NRanks, algo.NChunks) {
+				} else if !AlgoHolds(algo, rank, chunk) {
 					return fmt.Errorf(
 						"dag: algorithm %q: task %v reads chunk %d at rank %d before any task delivers it and rank %d does not initially hold it",
 						g.Algo.Name, g.Tasks[a.task].Transfer, chunk, rank, rank)

@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -47,6 +48,14 @@ const (
 	// drives runs at 1/Factor of its normal capability and pays
 	// Factor× the startup latency for the window.
 	KindStraggler
+	// KindLinkOut is a permanent link failure: the event's resources
+	// never come back (Duration = +Inf). The runtime escalates past
+	// retry/degrade to plan-level replanning on the carved topology.
+	KindLinkOut
+	// KindRankOut is a permanent GPU failure: rank Rank leaves the
+	// communicator for good (Duration = +Inf). Runtime-only — the flow
+	// simulator has no rank-departure abstraction.
+	KindRankOut
 )
 
 // String names the kind.
@@ -60,10 +69,18 @@ func (k Kind) String() string {
 		return "nic-flap"
 	case KindStraggler:
 		return "straggler"
+	case KindLinkOut:
+		return "link-out"
+	case KindRankOut:
+		return "rank-out"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
+
+// Permanent reports whether the kind models a failure that never heals
+// (Duration = +Inf): the trigger for plan-level recovery.
+func (k Kind) Permanent() bool { return k == KindLinkOut || k == KindRankOut }
 
 // Event is one timed fault. Times are simulated seconds from run start;
 // the event is active on [Start, Start+Duration).
@@ -88,16 +105,27 @@ type Event struct {
 	// simulated clock, so down windows translate to attempt counts
 	// (zero means one failed attempt).
 	Attempts int
+	// Rank is the failed GPU of a KindRankOut event. Unused otherwise.
+	Rank ir.Rank
 }
 
-// End returns the event's closing time.
+// End returns the event's closing time (+Inf for permanent events).
 func (e Event) End() float64 { return e.Start + e.Duration }
+
+// Permanent reports whether the event never heals.
+func (e Event) Permanent() bool { return e.Kind.Permanent() }
 
 // Validate checks one event against a topology and a thread-block
 // count (nTBs ≤ 0 skips the straggler bound check).
 func (e Event) Validate(t *topo.Topology, nTBs int) error {
-	if e.Start < 0 || e.Duration <= 0 {
+	if e.Start < 0 || e.Duration <= 0 || math.IsNaN(e.Duration) || math.IsInf(e.Start, 0) {
 		return fmt.Errorf("fault: %v event has invalid window [%g, %g)", e.Kind, e.Start, e.End())
+	}
+	if e.Kind.Permanent() != math.IsInf(e.Duration, 1) {
+		if e.Kind.Permanent() {
+			return fmt.Errorf("fault: %v event is permanent but has finite duration %g (want +Inf)", e.Kind, e.Duration)
+		}
+		return fmt.Errorf("fault: %v event has infinite duration (only permanent kinds may)", e.Kind)
 	}
 	switch e.Kind {
 	case KindLinkDegrade:
@@ -105,7 +133,7 @@ func (e Event) Validate(t *topo.Topology, nTBs int) error {
 			return fmt.Errorf("fault: link-degrade factor %g outside (0, 1)", e.Factor)
 		}
 		fallthrough
-	case KindLinkDown, KindNICFlap:
+	case KindLinkDown, KindNICFlap, KindLinkOut:
 		if len(e.Resources) == 0 {
 			return fmt.Errorf("fault: %v event names no resources", e.Kind)
 		}
@@ -121,6 +149,10 @@ func (e Event) Validate(t *topo.Topology, nTBs int) error {
 		if e.TB < 0 || (nTBs > 0 && e.TB >= nTBs) {
 			return fmt.Errorf("fault: straggler names TB %d outside [0, %d)", e.TB, nTBs)
 		}
+	case KindRankOut:
+		if e.Rank < 0 || int(e.Rank) >= t.NRanks() {
+			return fmt.Errorf("fault: rank-out names rank %d outside [0, %d)", e.Rank, t.NRanks())
+		}
 	default:
 		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
 	}
@@ -134,6 +166,10 @@ func (e Event) Describe(t *topo.Topology) string {
 		return fmt.Sprintf("%v TB %d ×%.1f [%.3f, %.3f)ms", e.Kind, e.TB, e.Factor, e.Start*1e3, e.End()*1e3)
 	case KindLinkDegrade:
 		return fmt.Sprintf("%v %s ×%.2f [%.3f, %.3f)ms", e.Kind, describeResources(t, e.Resources), e.Factor, e.Start*1e3, e.End()*1e3)
+	case KindLinkOut:
+		return fmt.Sprintf("%v %s [%.3f, ∞)ms", e.Kind, describeResources(t, e.Resources), e.Start*1e3)
+	case KindRankOut:
+		return fmt.Sprintf("%v rank %d [%.3f, ∞)ms", e.Kind, e.Rank, e.Start*1e3)
 	default:
 		return fmt.Sprintf("%v %s [%.3f, %.3f)ms", e.Kind, describeResources(t, e.Resources), e.Start*1e3, e.End()*1e3)
 	}
@@ -198,6 +234,52 @@ func (s *Schedule) Validate(t *topo.Topology, nTBs int) error {
 	return nil
 }
 
+// HasPermanent reports whether the schedule carries at least one
+// permanent (link-out / rank-out) event.
+func (s *Schedule) HasPermanent() bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Permanent() {
+			return true
+		}
+	}
+	return false
+}
+
+// PermanentFailures returns the union of permanently dead resources and
+// ranks over the whole schedule, each sorted and deduplicated — the set
+// a replan carves out of the topology. A health sweep triggered by the
+// first exhausted retry budget is assumed to discover every permanent
+// failure at once, which keeps the replan deterministic and single-shot.
+func (s *Schedule) PermanentFailures() (res []topo.ResourceID, ranks []ir.Rank) {
+	if s == nil {
+		return nil, nil
+	}
+	seenRes := make(map[topo.ResourceID]bool)
+	seenRank := make(map[ir.Rank]bool)
+	for _, e := range s.Events {
+		switch e.Kind {
+		case KindLinkOut:
+			for _, r := range e.Resources {
+				if !seenRes[r] {
+					seenRes[r] = true
+					res = append(res, r)
+				}
+			}
+		case KindRankOut:
+			if !seenRank[e.Rank] {
+				seenRank[e.Rank] = true
+				ranks = append(ranks, e.Rank)
+			}
+		}
+	}
+	sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	return res, ranks
+}
+
 // --- constructors ---
 
 // LinkDown builds a full outage of one resource over [start, start+dur).
@@ -224,6 +306,17 @@ func Straggler(tb int, start, dur, slowdown float64) Event {
 	return Event{Kind: KindStraggler, Start: start, Duration: dur, TB: tb, Factor: slowdown}
 }
 
+// LinkOut builds a permanent failure of one resource from start onward.
+func LinkOut(res topo.ResourceID, start float64) Event {
+	return Event{Kind: KindLinkOut, Start: start, Duration: math.Inf(1),
+		Resources: []topo.ResourceID{res}}
+}
+
+// RankOut builds a permanent failure of one GPU from start onward.
+func RankOut(rank ir.Rank, start float64) Event {
+	return Event{Kind: KindRankOut, Start: start, Duration: math.Inf(1), Rank: rank}
+}
+
 // --- seeded generation ---
 
 // Params drives random schedule generation.
@@ -243,6 +336,10 @@ type Params struct {
 	NTBs int
 	// MaxSlowdown caps straggler slowdown (default 4).
 	MaxSlowdown float64
+	// Permanent appends that many permanent link-out events (distinct
+	// links, starts uniform in the horizon) after the N transient
+	// events. Zero keeps the schedule transient-only.
+	Permanent int
 }
 
 // Generate builds a reproducible random schedule against a topology.
@@ -252,7 +349,7 @@ type Params struct {
 // NIC queues on multi-node topologies and point-to-point channels on
 // single-node ones — the links collectives actually traverse.
 func Generate(t *topo.Topology, p Params) *Schedule {
-	if p.N <= 0 || p.Horizon <= 0 {
+	if (p.N <= 0 && p.Permanent <= 0) || p.Horizon <= 0 {
 		return &Schedule{Seed: p.Seed}
 	}
 	if p.MeanDuration <= 0 {
@@ -291,6 +388,22 @@ func Generate(t *topo.Topology, p Params) *Schedule {
 			e.Attempts = 1 + int(3*dur/p.Horizon*float64(p.N))
 		}
 		s.Events = append(s.Events, e)
+	}
+	// Permanent failures strike distinct links so k requested failures
+	// carve k resources (repeating a dead link would waste the budget).
+	if p.Permanent > 0 {
+		seen := make(map[topo.ResourceID]bool)
+		for k := 0; k < p.Permanent; k++ {
+			res := randLink(t, rng)
+			for tries := 0; seen[res] && tries < 16; tries++ {
+				res = randLink(t, rng)
+			}
+			if seen[res] {
+				continue
+			}
+			seen[res] = true
+			s.Events = append(s.Events, LinkOut(res, rng.Float64()*p.Horizon))
+		}
 	}
 	return s
 }

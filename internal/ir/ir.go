@@ -182,6 +182,13 @@ type Algorithm struct {
 	// the listed global ranks participate, and correctness is judged
 	// against the group's view.
 	Group []Rank
+	// Initial, when non-nil, overrides the operator's default
+	// precondition: Initial[rank][chunk] reports whether that buffer
+	// location holds valid data before the algorithm starts. Repair
+	// plans produced by replanning use it — they begin from whatever a
+	// partially executed collective already delivered, not from the
+	// operator's pristine precondition.
+	Initial [][]bool
 }
 
 // StageOf returns the stage index containing the given step (0 when the
@@ -216,6 +223,16 @@ func (a *Algorithm) Validate() error {
 	}
 	if len(a.Transfers) == 0 {
 		return fmt.Errorf("ir: algorithm %q: no transfers", a.Name)
+	}
+	if a.Initial != nil {
+		if len(a.Initial) != a.NRanks {
+			return fmt.Errorf("ir: algorithm %q: Initial has %d rank rows, want %d", a.Name, len(a.Initial), a.NRanks)
+		}
+		for r, row := range a.Initial {
+			if len(row) != a.NChunks {
+				return fmt.Errorf("ir: algorithm %q: Initial[%d] has %d chunks, want %d", a.Name, r, len(row), a.NChunks)
+			}
+		}
 	}
 	seen := make(map[Transfer]struct{}, len(a.Transfers))
 	for _, t := range a.Transfers {

@@ -62,6 +62,10 @@ const (
 	// ActionDegrade marks an instance that exhausted its retry budget;
 	// its sub-pipeline falls back to sequential execution.
 	ActionDegrade = "degrade"
+	// ActionEscalate marks an instance stranded on a permanently failed
+	// resource: retries cannot help, the executor escalates to
+	// plan-level recovery (replan.go).
+	ActionEscalate = "escalate"
 )
 
 // RecoveryAction is one entry of the executor's recovery log.
@@ -82,10 +86,23 @@ type RecoveryAction struct {
 // buildFailCounts maps the schedule's down windows onto the kernel:
 // failN[t] is how many consecutive send attempts fail for every
 // invocation of task t. Degrade windows and stragglers slow the
-// simulator but do not fail runtime sends.
+// simulator but do not fail runtime sends; permanent failures are not
+// outages to retry through — they are handled by plan-level recovery
+// (replan.go) and excluded here.
+//
+// Paths are inverted into a resource → tasks index once, so the cost is
+// O(Σ|path|) plus O(Σ|event resources|·tasks-per-resource) instead of
+// the former O(events × tasks × |path| × |resources|) rescan.
 func buildFailCounts(ex *executor, sched *fault.Schedule) {
 	g := ex.k.Graph
+	resTasks := make(map[topo.ResourceID][]int)
+	for t := range g.Tasks {
+		for _, r := range g.Paths[t].Resources {
+			resTasks[r] = append(resTasks[r], t)
+		}
+	}
 	var failN []int
+	hit := make(map[int]bool)
 	for _, ev := range sched.Sorted() {
 		if ev.Kind != fault.KindLinkDown && ev.Kind != fault.KindNICFlap {
 			continue
@@ -94,28 +111,23 @@ func buildFailCounts(ex *executor, sched *fault.Schedule) {
 		if n < 1 {
 			n = 1
 		}
-		for t := range g.Tasks {
-			if !pathCrosses(g.Paths[t].Resources, ev.Resources) {
-				continue
+		// An event downing several resources of one path still counts
+		// once for that path, as the former any-crossing scan did.
+		clear(hit)
+		for _, d := range ev.Resources {
+			for _, t := range resTasks[d] {
+				if hit[t] {
+					continue
+				}
+				hit[t] = true
+				if failN == nil {
+					failN = make([]int, len(g.Tasks))
+				}
+				failN[t] += n
 			}
-			if failN == nil {
-				failN = make([]int, len(g.Tasks))
-			}
-			failN[t] += n
 		}
 	}
 	ex.failN = failN
-}
-
-func pathCrosses(path, downed []topo.ResourceID) bool {
-	for _, r := range path {
-		for _, d := range downed {
-			if r == d {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // buildSubPrev precomputes, for every task in a sub-pipeline, the task
@@ -209,6 +221,28 @@ func (ex *executor) recoverSend(t ir.TaskID, mb int) bool {
 	} else {
 		ex.record(RecoveryAction{Kind: ActionRecovered, Task: t, MB: mb, Attempt: retries, Sub: sub})
 	}
+	return true
+}
+
+// escalateSend burns the retry budget for a send stranded on a
+// permanently failed resource, then records the escalation to
+// plan-level recovery. Unlike recoverSend it never "recovers": no
+// number of retries crosses a dead link. Returns false only on abort.
+func (ex *executor) escalateSend(t ir.TaskID, mb int) bool {
+	sub := ex.subOf(t)
+	for a := 1; a <= ex.policy.MaxRetries; a++ {
+		ex.record(RecoveryAction{Kind: ActionRetry, Task: t, MB: mb, Attempt: a, Sub: sub})
+		if d := ex.policy.Backoff << uint(a-1); d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-timer.C:
+			case <-ex.abort:
+				timer.Stop()
+				return false
+			}
+		}
+	}
+	ex.record(RecoveryAction{Kind: ActionEscalate, Task: t, MB: mb, Attempt: ex.policy.MaxRetries + 1, Sub: sub})
 	return true
 }
 

@@ -12,6 +12,7 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,11 +22,16 @@ import (
 	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/verify"
 )
 
 // DefaultWatchdog is how long the executor waits without any instance
 // completing before declaring a deadlock.
 const DefaultWatchdog = 10 * time.Second
+
+// ErrDeadlock is wrapped into the watchdog's failure so callers (the
+// chaos harness in particular) can classify hangs with errors.Is.
+var ErrDeadlock = errors.New("rt: deadlock")
 
 // Config parameterises one execution.
 type Config struct {
@@ -60,11 +66,34 @@ type Result struct {
 	// DegradedSubs lists sub-pipelines that fell back from pipelined to
 	// sequential execution, sorted.
 	DegradedSubs []int
+	// Trace is the ordered list of transfers actually executed across
+	// all epochs, in the canonical replay order (ascending TaskID per
+	// epoch). It feeds the symbolic verifier.
+	Trace []ir.Transfer
+	// ReplanEvents logs plan-level recoveries (replan.go); empty unless
+	// the schedule carried permanent failures hitting the plan. The log
+	// is deterministic across runs.
+	ReplanEvents []ReplanEvent
+	// Lost[c] is the set of contributions to chunk c declared
+	// unrecoverable by the replanner; nil when nothing was lost.
+	Lost []verify.Set
+	// Surviving[r] reports whether rank r survived; nil when all ranks
+	// did.
+	Surviving []bool
+	// initial is the precondition override the kernel was compiled with
+	// (nil for operator defaults), kept for symbolic verification.
+	initial [][]bool
 }
 
 // Verify checks every micro-batch's final state against the operator's
-// postcondition.
+// postcondition. Clean runs compare concrete buffers directly
+// (collective.Verify); replanned runs additionally replay the executed
+// trace symbolically, cross-check every buffer against its provenance,
+// and prove the degraded postcondition (internal/verify).
 func (r *Result) Verify() error {
+	if len(r.ReplanEvents) > 0 {
+		return verifyReplanned(r)
+	}
 	for i, st := range r.States {
 		if err := collective.Verify(st); err != nil {
 			return fmt.Errorf("rt: micro-batch %d: %w", i, err)
@@ -90,21 +119,37 @@ func Execute(cfg Config) (*Result, error) {
 	}
 	ex := newExecutor(cfg.Kernel, n)
 	ex.policy = cfg.Recovery.withDefaults()
+	var perm *permPlan
 	if !cfg.Faults.Empty() {
 		buildFailCounts(ex, cfg.Faults)
 		buildSubPrev(ex)
+		// Permanent failures strand part of the plan: epoch 0 runs only
+		// the unaffected frontier, then Execute replans the rest.
+		if perm = analyzePermanent(cfg.Kernel, cfg.Faults); perm != nil {
+			ex.direct = perm.direct
+			ex.blocked = perm.blocked
+		}
 	}
+	ex.setupBarrier()
 	start := time.Now()
 	if err := ex.run(watchdog); err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		States:       ex.states,
 		Instances:    int(ex.completed.Load()),
-		Elapsed:      time.Since(start),
 		Recovery:     ex.sortedRecovery(),
 		DegradedSubs: ex.degradedSubs(),
-	}, nil
+		Trace:        frontierTrace(ex),
+		initial:      cfg.Kernel.Graph.Algo.Initial,
+	}
+	if perm != nil {
+		if err := replanAndResume(ex, perm, res, watchdog); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 type executor struct {
@@ -141,6 +186,13 @@ type executor struct {
 	recMu    sync.Mutex
 	recovery []RecoveryAction
 	degraded map[int]bool
+
+	// Plan-level recovery state (replan.go), nil without permanent
+	// failures. blocked[t]: t is stranded and skipped this epoch;
+	// direct[t]: t's own path or endpoints are dead (its send burns the
+	// retry budget and escalates, for log continuity).
+	blocked []bool
+	direct  []bool
 }
 
 func newExecutor(k *kernel.Kernel, n int) *executor {
@@ -165,10 +217,23 @@ func newExecutor(k *kernel.Kernel, n int) *executor {
 			ex.done[t][i] = make(chan struct{})
 		}
 	}
-	if k.MBBarrier {
-		ex.barrier = newMBBarrier(len(k.Graph.Tasks), n)
-	}
 	return ex
+}
+
+// setupBarrier creates the per-micro-batch barrier once the blocked set
+// is known: stranded tasks never arrive, so the barrier must expect only
+// the live frontier. Call after assigning ex.blocked, before run.
+func (ex *executor) setupBarrier() {
+	if !ex.k.MBBarrier {
+		return
+	}
+	live := len(ex.k.Graph.Tasks)
+	for _, b := range ex.blocked {
+		if b {
+			live--
+		}
+	}
+	ex.barrier = newMBBarrier(live, ex.n)
 }
 
 // fail records the first error and aborts every thread block.
@@ -204,8 +269,8 @@ func (ex *executor) run(watchdog time.Duration) error {
 		case <-timer.C:
 			cur := ex.completed.Load()
 			if cur == last {
-				ex.fail(fmt.Errorf("rt: no progress for %v after %d instances — kernel %q deadlocked",
-					watchdog, cur, ex.k.Name))
+				ex.fail(fmt.Errorf("%w: no progress for %v after %d instances in kernel %q",
+					ErrDeadlock, watchdog, cur, ex.k.Name))
 				<-finished
 				return ex.err
 			}
@@ -230,12 +295,27 @@ func (ex *executor) runTB(tb *kernel.TBProgram) {
 // execInstr runs one primitive invocation; returns false on abort.
 func (ex *executor) execInstr(prim ir.Primitive, mb int) bool {
 	t := prim.Task.ID
+	// Stranded on a permanent failure: skip the invocation entirely —
+	// both sides of the rendezvous skip, dependents are blocked too, and
+	// the barrier was sized without it. The send side of directly hit
+	// tasks burns its retry budget first and records the escalation to
+	// plan-level recovery; downstream tasks are abandoned silently.
+	if ex.blocked != nil && ex.blocked[t] {
+		if prim.Kind == ir.PrimSend && ex.direct[t] {
+			return ex.escalateSend(t, mb)
+		}
+		return true
+	}
 	// Gate on the per-micro-batch barrier (lazy execution).
 	if ex.barrier != nil && !ex.barrier.await(mb, ex.abort) {
 		return false
 	}
 	// Cross-TB semaphores: data dependencies for this micro-batch, and
 	// (ResCCL kernels) full drain of the link-window predecessors.
+	// Blocked link predecessors never complete — the runtime models no
+	// bandwidth, so their window slot is simply free and the await is
+	// skipped. Data dependencies need no such guard: dependents of
+	// blocked tasks are blocked themselves.
 	g := ex.k.Graph
 	for _, d := range g.Deps[t] {
 		if !ex.await(ex.done[d][mb]) {
@@ -243,6 +323,9 @@ func (ex *executor) execInstr(prim ir.Primitive, mb int) bool {
 		}
 	}
 	for _, p := range ex.k.LinkPreds[t] {
+		if ex.blocked != nil && ex.blocked[p] {
+			continue
+		}
 		if !ex.await(ex.done[p][ex.n-1]) {
 			return false
 		}
@@ -253,7 +336,7 @@ func (ex *executor) execInstr(prim ir.Primitive, mb int) bool {
 		// Degraded sub-pipelines run sequentially: wait for the previous
 		// task of the sub to finish this micro-batch before sending.
 		if ex.subPrev != nil && ex.isDegraded(ex.subOf(t)) {
-			if prev := ex.subPrev[t]; prev >= 0 {
+			if prev := ex.subPrev[t]; prev >= 0 && !(ex.blocked != nil && ex.blocked[prev]) {
 				if !ex.await(ex.done[prev][mb]) {
 					return false
 				}

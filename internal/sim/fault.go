@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/resccl/resccl/internal/fault"
@@ -53,6 +54,15 @@ func newFaultState(sched *fault.Schedule, s *sim) (*faultState, error) {
 	if err := sched.Validate(s.topo, len(s.tbs)); err != nil {
 		return nil, fmt.Errorf("sim: invalid fault schedule: %w", err)
 	}
+	// Permanent link-out events degenerate to capacity ≈ 0 forever and
+	// work unchanged; a dead rank, however, has no timing semantics —
+	// the plan must be rebuilt around it, which only the runtime (rt)
+	// does.
+	for _, ev := range sched.Events {
+		if ev.Kind == fault.KindRankOut {
+			return nil, fmt.Errorf("sim: rank-out faults are runtime-only (rt handles them via replanning); the simulator cannot time a plan with a dead rank")
+		}
+	}
 	fs := &faultState{
 		sched:     sched,
 		capFactor: make([]float64, s.topo.NResources()),
@@ -80,12 +90,16 @@ func newFaultState(sched *fault.Schedule, s *sim) (*faultState, error) {
 }
 
 // pushNextBound schedules the next unfired boundary as a heap event.
+// Close boundaries of permanent events sit at +Inf (sorted last) and are
+// never scheduled: the window simply never ends.
 func (s *sim) pushNextBound() {
 	fs := s.fault
 	if fs == nil || fs.next >= len(fs.bounds) {
 		return
 	}
-	s.push(event{time: fs.bounds[fs.next].time, kind: evFault, task: gid(fs.next)})
+	if t := fs.bounds[fs.next].time; !math.IsInf(t, 1) {
+		s.push(event{time: t, kind: evFault, task: gid(fs.next)})
+	}
 }
 
 // applyFaultBound fires boundary i: refresh the affected capacity

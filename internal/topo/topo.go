@@ -166,6 +166,11 @@ type Topology struct {
 	// Resource layout offsets.
 	offEgress, offIngress, offNICEg, offNICIn, offPair int
 	nResources                                         int
+
+	// Dead sets of a carved (degraded) topology; nil on healthy
+	// topologies, so the common case costs nothing. See Carve.
+	deadRes   map[ResourceID]bool
+	deadRanks map[ir.Rank]bool
 }
 
 // Option customises topology construction.
@@ -377,6 +382,93 @@ func (t *Topology) LinkWindow(l ResourceID, tbCap float64) int {
 		k = 1
 	}
 	return k
+}
+
+// --- degraded topologies (plan-level recovery) ---
+
+// RankResources lists the capacity resources that belong exclusively to
+// rank r: its NVSwitch ports and every point-to-point channel touching
+// it. NIC queues are shared with the other ranks of the NIC and are not
+// included — a dead rank does not take its neighbours' NIC down.
+func (t *Topology) RankResources(r ir.Rank) []ResourceID {
+	out := make([]ResourceID, 0, 2+2*(t.nRanks-1))
+	out = append(out, t.EgressPort(r), t.IngressPort(r))
+	for q := 0; q < t.nRanks; q++ {
+		if ir.Rank(q) == r {
+			continue
+		}
+		out = append(out, t.PairLink(r, ir.Rank(q)), t.PairLink(ir.Rank(q), r))
+	}
+	return out
+}
+
+// Carve returns a copy of the topology with the given resources and
+// ranks marked permanently dead (a dead rank also kills its exclusive
+// resources, see RankResources). Carving composes: carving an already
+// carved topology merges the dead sets. The receiver is not modified.
+func (t *Topology) Carve(res []ResourceID, ranks []ir.Rank) (*Topology, error) {
+	t2 := *t
+	t2.deadRes = make(map[ResourceID]bool, len(t.deadRes)+len(res))
+	for r := range t.deadRes {
+		t2.deadRes[r] = true
+	}
+	t2.deadRanks = make(map[ir.Rank]bool, len(t.deadRanks)+len(ranks))
+	for r := range t.deadRanks {
+		t2.deadRanks[r] = true
+	}
+	for _, r := range res {
+		if int(r) < 0 || int(r) >= t.nResources {
+			return nil, fmt.Errorf("topo: carve names unknown resource %d", r)
+		}
+		t2.deadRes[r] = true
+	}
+	for _, r := range ranks {
+		if r < 0 || int(r) >= t.nRanks {
+			return nil, fmt.Errorf("topo: carve names unknown rank %d", r)
+		}
+		t2.deadRanks[r] = true
+		for _, rr := range t.RankResources(r) {
+			t2.deadRes[rr] = true
+		}
+	}
+	return &t2, nil
+}
+
+// Carved reports whether the topology has any dead resources or ranks.
+func (t *Topology) Carved() bool { return len(t.deadRes) > 0 || len(t.deadRanks) > 0 }
+
+// ResourceAlive reports whether a resource survived carving.
+func (t *Topology) ResourceAlive(r ResourceID) bool { return !t.deadRes[r] }
+
+// RankAlive reports whether a rank survived carving.
+func (t *Topology) RankAlive(r ir.Rank) bool { return !t.deadRanks[r] }
+
+// AliveRanks returns the surviving ranks in ascending order.
+func (t *Topology) AliveRanks() []ir.Rank {
+	out := make([]ir.Rank, 0, t.nRanks-len(t.deadRanks))
+	for r := 0; r < t.nRanks; r++ {
+		if !t.deadRanks[ir.Rank(r)] {
+			out = append(out, ir.Rank(r))
+		}
+	}
+	return out
+}
+
+// PathAlive reports whether src→dst is usable on the carved topology:
+// both endpoints alive and every resource of the path alive.
+func (t *Topology) PathAlive(src, dst ir.Rank) bool {
+	if t.deadRanks[src] || t.deadRanks[dst] {
+		return false
+	}
+	if len(t.deadRes) == 0 {
+		return true
+	}
+	for _, r := range t.Path(src, dst).Resources {
+		if t.deadRes[r] {
+			return false
+		}
+	}
+	return true
 }
 
 // Connection identifies a directed GPU peer pair — the unit to which

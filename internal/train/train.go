@@ -77,6 +77,13 @@ type Config struct {
 	// FaultSeed seeds the fault schedules (default 1), making faulted
 	// runs reproducible.
 	FaultSeed int64
+	// Faults, when non-nil, injects this explicit schedule instead of a
+	// generated one (ressclsim -fault-spec). Its resource IDs name the
+	// full-cluster topology, so it applies to cluster-wide collectives
+	// (the data-parallel gradient all-reduce); TP-group collectives run
+	// on a single-server sub-topology with its own resource namespace
+	// and are not faulted. Mutually exclusive with FaultRate.
+	Faults *fault.Schedule
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -101,6 +108,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.FaultSeed == 0 {
 		c.FaultSeed = 1
+	}
+	if c.Faults != nil && c.FaultRate > 0 {
+		return c, fmt.Errorf("train: Faults and FaultRate are mutually exclusive")
 	}
 	if c.TP < 1 {
 		c.TP = 1
@@ -143,8 +153,9 @@ type Result struct {
 // commTime simulates one AllReduce of bufBytes per rank on tp using the
 // backend, returning its completion time and per-GPU TB footprint. A
 // positive faultRate reruns the collective under a seeded schedule of
-// that many events landing within the clean completion window.
-func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64) (float64, int, error) {
+// that many events landing within the clean completion window; a
+// non-nil spec reruns it under that explicit schedule instead.
+func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule) (float64, int, error) {
 	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		return 0, 0, err
@@ -161,12 +172,15 @@ func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes
 	if err != nil {
 		return 0, 0, err
 	}
-	if faultRate > 0 {
-		sched := fault.Generate(tp, fault.Params{
+	sched := spec
+	if sched == nil && faultRate > 0 {
+		sched = fault.Generate(tp, fault.Params{
 			Seed: faultSeed, N: faultRate,
 			Horizon: res.Completion, MeanDuration: res.Completion / 8,
 			NTBs: len(plan.Kernel.TBs),
 		})
+	}
+	if sched != nil {
 		res, err = sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: chunk, Faults: sched})
 		if err != nil {
 			return 0, 0, err
@@ -219,7 +233,9 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 		if actBytes < 1<<20 {
 			actBytes = 1 << 20
 		}
-		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed)
+		// Explicit fault specs name full-cluster resources, so the TP
+		// sub-topology never sees them (see Config.Faults).
+		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed, nil)
 		if err != nil {
 			return nil, fmt.Errorf("train: TP comm: %w", err)
 		}
@@ -242,7 +258,7 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 			var algo *ir.Algorithm
 			algo, err = arAlgo(cfg.NNodes, cfg.GPN)
 			if err == nil {
-				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed)
+				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed, cfg.Faults)
 			}
 		}
 		if err != nil {
@@ -308,16 +324,19 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 	if err != nil {
 		return 0, 0, err
 	}
-	if cfg.FaultRate > 0 {
+	sched := cfg.Faults
+	if sched == nil && cfg.FaultRate > 0 {
 		nTBs := 0
 		for _, se := range sessions {
 			nTBs += len(se.Kernel.TBs)
 		}
-		sched := fault.Generate(tp, fault.Params{
+		sched = fault.Generate(tp, fault.Params{
 			Seed: cfg.FaultSeed, N: cfg.FaultRate,
 			Horizon: mr.Completion, MeanDuration: mr.Completion / 8,
 			NTBs: nTBs,
 		})
+	}
+	if sched != nil {
 		mr, err = sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions, Faults: sched})
 		if err != nil {
 			return 0, 0, err

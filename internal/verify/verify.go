@@ -1,0 +1,315 @@
+// Package verify is the semantic postcondition verifier: it replays an
+// executed task trace symbolically and proves the collective's
+// postcondition, independently of how many replans produced the trace.
+//
+// Where collective.Verify compares concrete buffer values against the
+// healthy operator postcondition, verify tracks *provenance*: each
+// (rank, chunk) location carries the set of origin-rank contributions it
+// currently holds (a bitmask), ⊥ before anything valid is delivered. A
+// recv replaces the destination's set; an rrc merges two sets and fails
+// if they overlap — a contribution counted twice — or if either side is
+// ⊥ — data consumed before it was delivered. The postcondition then
+// checks, per operator, that every surviving rank ends with exactly the
+// achievable contribution set (the full set minus contributions declared
+// lost to permanent failures), each counted exactly once. This is the
+// machine-checked schedule-correctness discipline of SCCL applied to
+// traces instead of static plans: it holds for clean runs, degraded
+// runs, and any composition of replans.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// MaxRanks bounds the communicator size the bitmask representation
+// supports.
+const MaxRanks = 64
+
+// ErrTooManyRanks is returned when the communicator exceeds MaxRanks.
+var ErrTooManyRanks = errors.New("verify: communicator exceeds 64 ranks")
+
+// Set is a set of origin ranks whose contributions a buffer location
+// holds, as a bitmask.
+type Set uint64
+
+// SetOf builds a set from ranks.
+func SetOf(ranks ...ir.Rank) Set {
+	var s Set
+	for _, r := range ranks {
+		s |= 1 << uint(r)
+	}
+	return s
+}
+
+// FullSet is the set of all n ranks.
+func FullSet(n int) Set {
+	if n >= 64 {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Has reports membership.
+func (s Set) Has(r ir.Rank) bool { return s&(1<<uint(r)) != 0 }
+
+// Count returns the cardinality.
+func (s Set) Count() int {
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Ranks lists the members in ascending order.
+func (s Set) Ranks() []ir.Rank {
+	out := make([]ir.Rank, 0, s.Count())
+	for r := 0; r < 64; r++ {
+		if s.Has(ir.Rank(r)) {
+			out = append(out, ir.Rank(r))
+		}
+	}
+	return out
+}
+
+// String renders the set for error messages.
+func (s Set) String() string { return fmt.Sprintf("%v", s.Ranks()) }
+
+// Holdings is the symbolic data plane: per (rank, chunk), either ⊥
+// (invalid, nothing delivered yet) or the set of contributions held.
+type Holdings struct {
+	Op      ir.OpType
+	NRanks  int
+	NChunks int
+	valid   [][]bool
+	sets    [][]Set
+}
+
+// Initial builds the symbolic precondition of an operator: every
+// location the operator's precondition marks valid holds exactly the
+// singleton contribution of its origin rank.
+func Initial(op ir.OpType, nRanks, nChunks int) (*Holdings, error) {
+	return InitialFrom(op, nRanks, nChunks, nil)
+}
+
+// InitialFrom is Initial with an optional precondition override
+// (ir.Algorithm.Initial): when non-nil, initial[r][c] decides validity
+// instead of the operator default. The origin of a valid location is
+// still the operator's: the rank whose contribution that location's
+// initial data represents.
+func InitialFrom(op ir.OpType, nRanks, nChunks int, initial [][]bool) (*Holdings, error) {
+	if nRanks > MaxRanks {
+		return nil, fmt.Errorf("%w: %d ranks", ErrTooManyRanks, nRanks)
+	}
+	if nRanks < 1 || nChunks < 1 {
+		return nil, fmt.Errorf("verify: invalid shape %d ranks × %d chunks", nRanks, nChunks)
+	}
+	h := &Holdings{Op: op, NRanks: nRanks, NChunks: nChunks}
+	h.valid = make([][]bool, nRanks)
+	h.sets = make([][]Set, nRanks)
+	for r := 0; r < nRanks; r++ {
+		h.valid[r] = make([]bool, nChunks)
+		h.sets[r] = make([]Set, nChunks)
+		for c := 0; c < nChunks; c++ {
+			holds := dag.InitiallyHolds(op, ir.Rank(r), ir.ChunkID(c), nRanks, nChunks)
+			if initial != nil {
+				holds = initial[r][c]
+			}
+			if holds {
+				h.valid[r][c] = true
+				h.sets[r][c] = SetOf(origin(op, ir.Rank(r), ir.ChunkID(c), nRanks))
+			}
+		}
+	}
+	return h, nil
+}
+
+// origin returns the rank whose contribution an initially valid copy of
+// chunk c at rank r represents.
+func origin(op ir.OpType, r ir.Rank, c ir.ChunkID, nRanks int) ir.Rank {
+	switch op {
+	case ir.OpAllGather:
+		return ir.Rank(int(c) % nRanks)
+	case ir.OpBroadcast:
+		return 0
+	case ir.OpAllToAll:
+		return ir.Rank(int(c) / nRanks)
+	default: // AllReduce / ReduceScatter: each rank starts with its own term
+		return r
+	}
+}
+
+// Valid reports whether (r, c) holds delivered data.
+func (h *Holdings) Valid(r ir.Rank, c ir.ChunkID) bool { return h.valid[r][c] }
+
+// Set returns the contribution set at (r, c) (zero when invalid).
+func (h *Holdings) Set(r ir.Rank, c ir.ChunkID) Set { return h.sets[r][c] }
+
+// Apply replays one transfer symbolically. It fails on the two ways a
+// trace can be semantically corrupt: reading a location nothing has
+// delivered, and reducing overlapping contribution sets (double count).
+func (h *Holdings) Apply(t ir.Transfer) error {
+	if err := t.Validate(h.NRanks, h.NChunks); err != nil {
+		return err
+	}
+	if !h.valid[t.Src][t.Chunk] {
+		return fmt.Errorf("verify: %v reads undelivered chunk %d at rank %d", t, t.Chunk, t.Src)
+	}
+	src := h.sets[t.Src][t.Chunk]
+	switch t.Type {
+	case ir.CommRecv:
+		h.sets[t.Dst][t.Chunk] = src
+		h.valid[t.Dst][t.Chunk] = true
+	case ir.CommRecvReduceCopy:
+		if !h.valid[t.Dst][t.Chunk] {
+			return fmt.Errorf("verify: %v reduces into undelivered chunk %d at rank %d", t, t.Chunk, t.Dst)
+		}
+		dst := h.sets[t.Dst][t.Chunk]
+		if overlap := src & dst; overlap != 0 {
+			return fmt.Errorf("verify: %v double-counts contributions %v (src holds %v, dst holds %v)",
+				t, overlap, src, dst)
+		}
+		h.sets[t.Dst][t.Chunk] = src | dst
+	default:
+		return fmt.Errorf("verify: %v has unknown comm type", t)
+	}
+	return nil
+}
+
+// Replay applies a trace in order onto the operator's symbolic
+// precondition. The trace must be ordered consistently with the data
+// flow that produced it — for compiled plans, ascending (step, chunk,
+// src, dst) order (ir.Algorithm.Sorted / rt.Result.Trace).
+func Replay(op ir.OpType, nRanks, nChunks int, initial [][]bool, trace []ir.Transfer) (*Holdings, error) {
+	h, err := InitialFrom(op, nRanks, nChunks, initial)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range trace {
+		if err := h.Apply(t); err != nil {
+			return nil, fmt.Errorf("trace entry %d: %w", i, err)
+		}
+	}
+	return h, nil
+}
+
+// Expect describes the degraded context a postcondition is judged in.
+// The zero value is the healthy case: all ranks surviving, nothing lost.
+type Expect struct {
+	// Surviving[r] reports whether rank r is still part of the
+	// communicator; nil means all ranks survive. Dead ranks' buffers are
+	// unconstrained.
+	Surviving []bool
+	// Lost[c] is the set of contributions to chunk c that permanent
+	// failures made unrecoverable (declared by the replanner); nil means
+	// nothing was lost. A surviving rank must hold exactly the full set
+	// minus Lost[c].
+	Lost []Set
+}
+
+func (e Expect) surviving(r ir.Rank) bool {
+	return e.Surviving == nil || e.Surviving[r]
+}
+
+func (e Expect) lost(c ir.ChunkID) Set {
+	if e.Lost == nil {
+		return 0
+	}
+	return e.Lost[c]
+}
+
+// Postcondition proves the operator's (possibly degraded) postcondition
+// over the holdings: every surviving rank that the operator obligates
+// holds exactly the achievable contribution set, each contribution
+// counted exactly once. Chunks whose achievable set is empty (all
+// contributions lost) impose no obligation.
+func (h *Holdings) Postcondition(e Expect) error {
+	if e.Surviving != nil && len(e.Surviving) != h.NRanks {
+		return fmt.Errorf("verify: Surviving has %d entries, want %d", len(e.Surviving), h.NRanks)
+	}
+	if e.Lost != nil && len(e.Lost) != h.NChunks {
+		return fmt.Errorf("verify: Lost has %d entries, want %d", len(e.Lost), h.NChunks)
+	}
+	full := FullSet(h.NRanks)
+	for c := 0; c < h.NChunks; c++ {
+		chunk := ir.ChunkID(c)
+		lost := e.lost(chunk)
+		target := full &^ lost
+		if target == 0 {
+			continue
+		}
+		check := func(r ir.Rank, want Set) error {
+			if !h.valid[r][c] {
+				return fmt.Errorf("verify: %v postcondition: rank %d chunk %d holds no valid data, want contributions %v",
+					h.Op, r, c, want)
+			}
+			if got := h.sets[r][c]; got != want {
+				return fmt.Errorf("verify: %v postcondition: rank %d chunk %d holds contributions %v, want %v",
+					h.Op, r, c, got, want)
+			}
+			return nil
+		}
+		switch h.Op {
+		case ir.OpAllReduce:
+			for r := 0; r < h.NRanks; r++ {
+				if !e.surviving(ir.Rank(r)) {
+					continue
+				}
+				if err := check(ir.Rank(r), target); err != nil {
+					return err
+				}
+			}
+		case ir.OpReduceScatter:
+			owner := ir.Rank(c % h.NRanks)
+			if e.surviving(owner) {
+				if err := check(owner, target); err != nil {
+					return err
+				}
+			}
+		case ir.OpAllGather, ir.OpBroadcast:
+			// One origin per chunk; if it was lost the chunk imposes
+			// nothing (target == 0 handled above covers only full loss of
+			// reduce chunks — copy chunks have singleton origins).
+			o := origin(h.Op, 0, chunk, h.NRanks)
+			if lost.Has(o) {
+				continue
+			}
+			for r := 0; r < h.NRanks; r++ {
+				if !e.surviving(ir.Rank(r)) {
+					continue
+				}
+				if err := check(ir.Rank(r), SetOf(o)); err != nil {
+					return err
+				}
+			}
+		case ir.OpAllToAll:
+			src := ir.Rank(c / h.NRanks)
+			dst := ir.Rank(c % h.NRanks)
+			if lost.Has(src) || !e.surviving(dst) {
+				continue
+			}
+			if err := check(dst, SetOf(src)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("verify: unknown operator %v", h.Op)
+		}
+	}
+	return nil
+}
+
+// Check replays a trace and proves the postcondition in one call.
+func Check(op ir.OpType, nRanks, nChunks int, initial [][]bool, trace []ir.Transfer, e Expect) (*Holdings, error) {
+	h, err := Replay(op, nRanks, nChunks, initial, trace)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Postcondition(e); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
