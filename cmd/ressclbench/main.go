@@ -19,50 +19,20 @@ import (
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/bench"
+	"github.com/resccl/resccl/internal/obs"
 )
-
-// perfExperiment is one experiment's slice of a perf record.
-type perfExperiment struct {
-	ID          string  `json:"id"`
-	WallMS      float64 `json:"wall_ms"`
-	Tables      int     `json:"tables"`
-	Rows        int     `json:"rows"`
-	SimEvents   int64   `json:"sim_events"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-}
-
-// perfRecord is the machine-readable output of -bench-json. Records are
-// committed as BENCH_*.json files so perf regressions show up in review
-// (see docs/performance.md).
-type perfRecord struct {
-	GeneratedBy  string           `json:"generated_by"`
-	Quick        bool             `json:"quick"`
-	Parallel     bool             `json:"parallel"`
-	Workers      int              `json:"workers"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	TotalWallMS  float64          `json:"total_wall_ms"`
-	SimEvents    int64            `json:"sim_events"`
-	SimRuns      int64            `json:"sim_runs"`
-	RTInstances  int64            `json:"rt_instances"`
-	Replans      int64            `json:"replans"`
-	EventsPerSec float64          `json:"events_per_sec"`
-	CacheHits    int64            `json:"cache_hits"`
-	CacheMisses  int64            `json:"cache_misses"`
-	CacheEntries int              `json:"cache_entries"`
-	CacheHitRate float64          `json:"cache_hit_rate"`
-	Experiments  []perfExperiment `json:"experiments"`
-}
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
-		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		list      = flag.Bool("list", false, "list available experiments")
-		format    = flag.String("format", "text", "output format: text, csv or markdown")
-		parallel  = flag.Bool("parallel", false, "fan independent simulation cells across a worker pool (output is byte-identical to a serial run)")
-		workers   = flag.Int("workers", 0, "worker pool size for -parallel; 0 means GOMAXPROCS")
-		benchJSON = flag.String("bench-json", "", "write a machine-readable perf record (wall clock, sim events/sec, cache hit rate) to this path")
+		exp         = flag.String("exp", "", "experiment id to run (see -list), or 'all'")
+		quick       = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		list        = flag.Bool("list", false, "list available experiments")
+		format      = flag.String("format", "text", "output format: text, csv or markdown")
+		parallel    = flag.Bool("parallel", false, "fan independent simulation cells across a worker pool (output is byte-identical to a serial run)")
+		workers     = flag.Int("workers", 0, "worker pool size for -parallel; 0 means GOMAXPROCS")
+		benchJSON   = flag.String("bench-json", "", "write a machine-readable perf record (wall clock, sim events/sec, cache hit rate) to this path")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every simulated cell to this path (forces a serial run for deterministic output)")
+		metricsJSON = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
 	)
 	flag.Parse()
 
@@ -82,12 +52,20 @@ func main() {
 	// record reflects the whole run.
 	cache := backend.NewCache()
 	stats := bench.NewStats()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		// Timelines append in cell completion order; only a serial run
+		// keeps that order (and the trace bytes) deterministic.
+		*parallel = false
+	}
 	opts := bench.Options{
 		Quick:    *quick,
 		Parallel: *parallel,
 		Workers:  *workers,
 		Cache:    cache,
 		Stats:    stats,
+		Trace:    tr,
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -101,7 +79,7 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
-	rec := perfRecord{
+	rec := bench.PerfRecord{
 		GeneratedBy: "ressclbench -bench-json",
 		Quick:       *quick,
 		Parallel:    *parallel,
@@ -138,7 +116,7 @@ func main() {
 			fmt.Printf("[%s completed in %v; plan cache %d hits / %d misses]\n\n",
 				e.ID, elapsed.Round(time.Millisecond), hits, misses)
 		}
-		rec.Experiments = append(rec.Experiments, perfExperiment{
+		rec.Experiments = append(rec.Experiments, bench.PerfExperiment{
 			ID:          e.ID,
 			WallMS:      float64(elapsed.Microseconds()) / 1e3,
 			Tables:      len(tables),
@@ -149,6 +127,36 @@ func main() {
 		})
 	}
 
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+	if *metricsJSON != "" {
+		m := obs.NewMetrics()
+		bench.PublishMetrics(m, cache, stats)
+		f, err := os.Create(*metricsJSON)
+		if err == nil {
+			err = m.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsJSON)
+	}
 	if *benchJSON == "" {
 		return
 	}

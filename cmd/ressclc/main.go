@@ -8,6 +8,8 @@
 //
 //	ressclc -in algo.rcl -nodes 2 -gpus 8 [-policy hpds|rr|seq]
 //	        [-alloc state|conn] [-dump-kernel] [-simulate 1GiB]
+//	ressclc -list-algos
+//	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -simulate 1GiB
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"github.com/resccl/resccl/internal/core"
+	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/kernel"
 	"github.com/resccl/resccl/internal/rt"
 	"github.com/resccl/resccl/internal/sched"
@@ -42,19 +45,36 @@ func main() {
 		out      = flag.String("out", "", "write the compiled plan (kernel + topology) to this JSON file")
 		analyze  = flag.String("analyze", "", "print the Eq. 3-5 strategy estimates for the given per-rank buffer (e.g. 1GiB)")
 		planIn   = flag.String("plan", "", "load a previously compiled plan file instead of compiling -in")
+		algoName = flag.String("algo", "", "compile a registered expert algorithm by name instead of a DSL file (see -list-algos)")
+		listAlgo = flag.Bool("list-algos", false, "list the expert algorithm registry and exit")
 	)
 	flag.Parse()
+	if *listAlgo {
+		fmt.Println("registered expert algorithms:")
+		for _, b := range expert.Registry() {
+			params := "nRanks"
+			if b.NParams == 2 {
+				params = "nNodes, gpusPerNode"
+			}
+			fmt.Printf("  %-24s %v(%s)\n", b.Name, b.Op, params)
+		}
+		return
+	}
 	if *planIn != "" {
 		runLoadedPlan(*planIn, *simulate, *timeline, *execRT)
 		return
 	}
-	if *in == "" {
+	if *in == "" && *algoName == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(*in)
-	if err != nil {
-		fatal(err)
+	var src []byte
+	if *in != "" {
+		var err error
+		src, err = os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var prof topo.Profile
@@ -88,9 +108,33 @@ func main() {
 		fatal(fmt.Errorf("unknown allocation %q", *alloc))
 	}
 
-	c, err := core.CompileDSL(string(src), tp, opts)
-	if err != nil {
-		fatal(err)
+	var c *core.Compiled
+	if *algoName != "" {
+		if *in != "" {
+			fatal(fmt.Errorf("-in and -algo are mutually exclusive"))
+		}
+		b, ok := expert.Lookup(*algoName)
+		if !ok {
+			fatal(fmt.Errorf("unknown algorithm %q (see -list-algos)", *algoName))
+		}
+		params := []int{*nodes * *gpus}
+		if b.NParams == 2 {
+			params = []int{*nodes, *gpus}
+		}
+		algo, err := expert.Build(*algoName, params...)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = core.Compile(algo, tp, opts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		c, err = core.CompileDSL(string(src), tp, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("algorithm:      %s (%v, %d ranks, %d transfers)\n",
@@ -101,8 +145,8 @@ func main() {
 		opts.Policy, c.Graph.NTasks(), c.Pipeline.NSubs())
 	fmt.Printf("allocation:     %v, %d TBs total, max %d per GPU\n",
 		opts.Alloc, c.Kernel.NTBs(), c.Kernel.MaxTBsPerRank())
-	fmt.Printf("phases:         parse %v, analyze %v, schedule %v, lower %v (total %v)\n",
-		c.Phases.Parse, c.Phases.Analyze, c.Phases.Schedule, c.Phases.Lower, c.Phases.Total())
+	fmt.Printf("phases:         parse %v, analyze %v, schedule %v, alloc %v, lower %v (total %v)\n",
+		c.Phases.Parse, c.Phases.Analyze, c.Phases.Schedule, c.Phases.Alloc, c.Phases.Lower, c.Phases.Total())
 
 	if *analyze != "" {
 		buf, err := parseSize(*analyze)

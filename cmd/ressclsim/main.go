@@ -11,11 +11,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/topo"
 	"github.com/resccl/resccl/internal/train"
 )
@@ -42,6 +44,8 @@ func main() {
 		frate = flag.Int("fault-rate", 0, "inject N seeded fault events per collective (0 = none)")
 		fseed = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 		fspec = flag.String("fault-spec", "", "JSON fault-schedule file (see docs/faults.md); mutually exclusive with -fault-rate")
+		tout  = flag.String("trace-out", "", "write a Chrome trace-event JSON of every simulated collective to this path (open in Perfetto; see docs/observability.md)")
+		mout  = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
 	)
 	flag.Parse()
 
@@ -69,6 +73,12 @@ func main() {
 		Model: m, GlobalBatch: *batch,
 		TP: width, DP: depth, NNodes: *nodes, GPN: *gpus,
 		FaultRate: *frate, FaultSeed: *fseed,
+	}
+	if *tout != "" {
+		cfg.Trace = obs.NewTrace()
+	}
+	if *mout != "" {
+		cfg.Metrics = obs.NewMetrics()
 	}
 	if *fspec != "" {
 		if *frate > 0 {
@@ -122,6 +132,34 @@ func main() {
 			res.Backend, res.IterTime*1e3, res.Compute*1e3, res.TPComm*1e3, res.DPComm*1e3,
 			res.SMPenalty*1e3, res.CommTBs, res.Throughput)
 	}
+
+	if *tout != "" {
+		// Host spans are excluded by default, so the file depends only on
+		// simulated time: two runs of the same command are byte-identical.
+		if err := writeFile(*tout, func(w io.Writer) error { return cfg.Trace.WriteChrome(w) }); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tout)
+	}
+	if *mout != "" {
+		if err := writeFile(*mout, cfg.Metrics.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *mout)
+	}
+}
+
+// writeFile streams render into path.
+func writeFile(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = render(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -24,6 +24,7 @@ import (
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/topo"
 )
 
@@ -43,6 +44,10 @@ type Plan struct {
 	// substitutes its own).
 	Algo   *ir.Algorithm
 	Kernel *kernel.Kernel
+	// Stages records the wall time of each compile phase for
+	// observability (ResCCL reports its full pipeline; the baseline
+	// backends report a single "compile" stage).
+	Stages []obs.Stage
 }
 
 // Backend compiles collectives into executable kernels.

@@ -72,12 +72,23 @@ func (c *Cache) Stats() CacheStats {
 // use. Backends with configurations the fingerprint does not understand
 // fall through to a direct, uncached compile.
 func (c *Cache) Compile(b Backend, req Request) (*Plan, error) {
+	plan, _, err := c.CompileNoted(b, req)
+	return plan, err
+}
+
+// CompileNoted is Compile plus a hit report: it returns whether the plan
+// was served from the cache, so callers can account cache effectiveness
+// (and skip re-recording compile-stage spans) per lookup. Uncacheable
+// requests report hit=false.
+func (c *Cache) CompileNoted(b Backend, req Request) (*Plan, bool, error) {
 	if c == nil {
-		return b.Compile(req)
+		plan, err := b.Compile(req)
+		return plan, false, err
 	}
 	key, ok := fingerprint(b, req)
 	if !ok {
-		return b.Compile(req)
+		plan, err := b.Compile(req)
+		return plan, false, err
 	}
 	c.mu.Lock()
 	e, hit := c.entries[key]
@@ -85,7 +96,7 @@ func (c *Cache) Compile(b Backend, req Request) (*Plan, error) {
 		c.hits++
 		c.mu.Unlock()
 		<-e.done
-		return e.plan, e.err
+		return e.plan, true, e.err
 	}
 	e = &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -93,7 +104,7 @@ func (c *Cache) Compile(b Backend, req Request) (*Plan, error) {
 	c.mu.Unlock()
 	e.plan, e.err = b.Compile(req)
 	close(e.done)
-	return e.plan, e.err
+	return e.plan, false, e.err
 }
 
 // fingerprint hashes everything compilation depends on. It returns

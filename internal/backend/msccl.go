@@ -3,10 +3,12 @@ package backend
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/topo"
 )
 
@@ -42,6 +44,7 @@ func (m *MSCCL) Compile(req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("msccl: request needs an algorithm and topology")
 	}
+	start := time.Now()
 	g, err := dag.Build(req.Algo, req.Topo)
 	if err != nil {
 		return nil, err
@@ -80,7 +83,8 @@ func (m *MSCCL) Compile(req Request) (*Plan, error) {
 	// Synthesizer output has no stage annotations and runs lazily at
 	// algorithm level (§2.1): one pass per micro-batch.
 	k.MBBarrier = !stageLevel
-	return &Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k}, nil
+	stages := []obs.Stage{{Name: "compile", Duration: time.Since(start)}}
+	return &Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages}, nil
 }
 
 // stageLevelTBs partitions tasks into stage groups (consecutive stages

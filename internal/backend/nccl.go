@@ -2,11 +2,13 @@ package backend
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/topo"
 )
 
@@ -79,6 +81,7 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("nccl: request needs algorithm metadata and topology")
 	}
+	compileStart := time.Now()
 	ch := n.Channels
 	if ch < 1 {
 		ch = 1
@@ -153,5 +156,6 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 		return nil, err
 	}
 	k.MBBarrier = true // algorithm-level (lazy) execution
-	return &Plan{Backend: n.Name(), Algo: algo, Kernel: k}, nil
+	stages := []obs.Stage{{Name: "compile", Duration: time.Since(compileStart)}}
+	return &Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages}, nil
 }

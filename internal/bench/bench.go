@@ -13,6 +13,7 @@ import (
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
 )
@@ -116,6 +117,10 @@ type Options struct {
 	// Stats, when non-nil, accumulates simulator throughput counters for
 	// machine-readable perf records (-bench-json).
 	Stats *Stats
+	// Trace, when non-nil, records the simulated timeline of every cell
+	// (-trace-out). Combine with a serial run: timelines append in cell
+	// completion order, which only a serial run makes deterministic.
+	Trace *obs.Trace
 }
 
 // init fills derived defaults; every experiment calls it on entry.
@@ -126,9 +131,14 @@ func (o Options) init() Options {
 	return o
 }
 
-// compile routes a backend compilation through the plan cache.
+// compile routes a backend compilation through the plan cache, recording
+// compile-stage spans into the trace sink on misses.
 func compile(opts Options, b backend.Backend, req backend.Request) (*backend.Plan, error) {
-	return opts.Cache.Compile(b, req)
+	plan, hit, err := opts.Cache.CompileNoted(b, req)
+	if err == nil && !hit && opts.Trace != nil && req.Algo != nil {
+		opts.Trace.AddStages("compile", b.Name()+"/"+req.Algo.Name, plan.Stages)
+	}
+	return plan, err
 }
 
 // Experiment generates the artifacts for one paper table/figure.

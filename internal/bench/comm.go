@@ -215,15 +215,15 @@ func Figure11(opts Options) ([]*Table, error) {
 	bufs := bufSweep(opts, []int64{16 << 20, 32 << 20, 64 << 20, 128 << 20, 256 << 20, 512 << 20, 1 << 30, 2 << 30, 4 << 30})
 	ops := []struct {
 		label string
-		build func() (*ir.Algorithm, error)
+		name  string
 	}{
-		{"HM-AllGather", func() (*ir.Algorithm, error) { return expert.HMAllGather(2, 8) }},
-		{"HM-ReduceScatter", func() (*ir.Algorithm, error) { return expert.HMReduceScatter(2, 8) }},
-		{"HM-AllReduce", func() (*ir.Algorithm, error) { return expert.HMAllReduce(2, 8) }},
+		{"HM-AllGather", "hm-allgather"},
+		{"HM-ReduceScatter", "hm-reducescatter"},
+		{"HM-AllReduce", "hm-allreduce"},
 	}
 	var out []*Table
 	for _, o := range ops {
-		algo, err := o.build()
+		algo, err := expert.Build(o.name, 2, 8)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/obs"
+)
+
+// PerfExperiment is one experiment's slice of a perf record.
+type PerfExperiment struct {
+	ID          string  `json:"id"`
+	WallMS      float64 `json:"wall_ms"`
+	Tables      int     `json:"tables"`
+	Rows        int     `json:"rows"`
+	SimEvents   int64   `json:"sim_events"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+// PerfRecord is the machine-readable output of ressclbench -bench-json.
+// Records are committed as BENCH_*.json files so perf regressions show
+// up in review (see docs/performance.md).
+type PerfRecord struct {
+	GeneratedBy  string           `json:"generated_by"`
+	Quick        bool             `json:"quick"`
+	Parallel     bool             `json:"parallel"`
+	Workers      int              `json:"workers"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	TotalWallMS  float64          `json:"total_wall_ms"`
+	SimEvents    int64            `json:"sim_events"`
+	SimRuns      int64            `json:"sim_runs"`
+	RTInstances  int64            `json:"rt_instances"`
+	Replans      int64            `json:"replans"`
+	EventsPerSec float64          `json:"events_per_sec"`
+	CacheHits    int64            `json:"cache_hits"`
+	CacheMisses  int64            `json:"cache_misses"`
+	CacheEntries int              `json:"cache_entries"`
+	CacheHitRate float64          `json:"cache_hit_rate"`
+	Experiments  []PerfExperiment `json:"experiments"`
+}
+
+// PublishMetrics mirrors the harness counters into an obs metrics
+// registry under the library's standard names, so -metrics-json output
+// and -bench-json perf records agree field for field. Nil-safe on every
+// argument.
+func PublishMetrics(m *obs.Metrics, cache *backend.Cache, stats *Stats) {
+	if m == nil {
+		return
+	}
+	if cache != nil {
+		cs := cache.Stats()
+		m.Add("plan_cache.hits", cs.Hits)
+		m.Add("plan_cache.misses", cs.Misses)
+	}
+	if stats != nil {
+		m.Add("sim.events", stats.SimEvents())
+		m.Add("sim.runs", stats.SimRuns())
+		m.Add("rt.instances", stats.RTInstances())
+		m.Add("rt.replans", stats.Replans())
+	}
+}

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/resccl/resccl/internal/sim"
+	"github.com/resccl/resccl/internal/trace"
 )
 
 // The harness decomposes every experiment into independent *cells* —
@@ -132,20 +134,36 @@ func (s *Stats) Replans() int64 {
 	return s.replans.Load()
 }
 
-// runSim is the harness's counted sim.Run wrapper.
+// runSim is the harness's counted sim.Run wrapper. With a trace sink
+// configured it additionally records the run's timeline.
 func runSim(opts Options, cfg sim.Config) (*sim.Result, error) {
+	if opts.Trace != nil {
+		cfg.RecordTimeline = true
+	}
 	res, err := sim.Run(cfg)
 	if err == nil {
 		opts.Stats.AddSimEvents(res.Events)
+		if opts.Trace != nil {
+			opts.Trace.AddTimeline(trace.BuildTimeline(cfg.Kernel.Name, cfg.Kernel, cfg.Topo, res))
+		}
 	}
 	return res, err
 }
 
 // runConcurrent is the counted sim.RunConcurrent wrapper.
 func runConcurrent(opts Options, cfg sim.MultiConfig) (*sim.MultiResult, error) {
+	if opts.Trace != nil {
+		cfg.RecordTimeline = true
+	}
 	mr, err := sim.RunConcurrent(cfg)
 	if err == nil {
 		opts.Stats.AddSimEvents(mr.Events)
+		if opts.Trace != nil {
+			for i, res := range mr.Sessions {
+				name := fmt.Sprintf("session%d/%s", i, cfg.Sessions[i].Kernel.Name)
+				opts.Trace.AddTimeline(trace.BuildTimeline(name, cfg.Sessions[i].Kernel, cfg.Topo, res))
+			}
+		}
 	}
 	return mr, err
 }

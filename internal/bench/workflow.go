@@ -222,14 +222,14 @@ func hmARSource(nNodes, gpn int) string {
 }
 
 // Figure10a measures the offline workflow phases (parse, analyze,
-// schedule, lower) compiling the HM AllReduce DSL program for clusters
-// of 8 to 1024 emulated GPUs.
+// schedule, alloc, lower) compiling the HM AllReduce DSL program for
+// clusters of 8 to 1024 emulated GPUs.
 func Figure10a(opts Options) ([]*Table, error) {
 	opts = opts.init()
 	t := &Table{
 		ID:     "fig10a",
 		Title:  "Offline workflow phase scalability (HM AllReduce via ResCCLang)",
-		Header: []string{"GPUs", "tasks", "parse", "analyze", "schedule", "lower", "total"},
+		Header: []string{"GPUs", "tasks", "parse", "analyze", "schedule", "alloc", "lower", "total"},
 		Notes:  []string{"paper: ~11 minutes at 1024 GPUs on their host; offline, once per job"},
 	}
 	scales := [][2]int{{2, 4}, {2, 8}, {4, 8}, {8, 8}, {16, 8}, {32, 8}, {64, 8}, {128, 8}}
@@ -253,8 +253,8 @@ func Figure10a(opts Options) ([]*Table, error) {
 		ph := c.Phases
 		rows[i] = []string{fmt.Sprintf("%d", nNodes*gpn),
 			fmt.Sprintf("%d", len(c.Graph.Tasks)),
-			ph.Parse.String(), ph.Analyze.String(), ph.Schedule.String(), ph.Lower.String(),
-			ph.Total().String()}
+			ph.Parse.String(), ph.Analyze.String(), ph.Schedule.String(), ph.Alloc.String(),
+			ph.Lower.String(), ph.Total().String()}
 		return nil
 	})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
 	"github.com/resccl/resccl/internal/lang"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/sched"
 	"github.com/resccl/resccl/internal/talloc"
 	"github.com/resccl/resccl/internal/topo"
@@ -74,11 +75,31 @@ type Phases struct {
 	Parse    time.Duration
 	Analyze  time.Duration
 	Schedule time.Duration
+	Alloc    time.Duration
 	Lower    time.Duration
 }
 
 // Total returns the end-to-end offline cost.
-func (p Phases) Total() time.Duration { return p.Parse + p.Analyze + p.Schedule + p.Lower }
+func (p Phases) Total() time.Duration {
+	return p.Parse + p.Analyze + p.Schedule + p.Alloc + p.Lower
+}
+
+// Stages renders the phases as observability stages in pipeline order,
+// omitting phases that did not run (a zero Parse means the algorithm was
+// built programmatically rather than compiled from ResCCLang).
+func (p Phases) Stages() []obs.Stage {
+	stages := make([]obs.Stage, 0, 5)
+	if p.Parse > 0 {
+		stages = append(stages, obs.Stage{Name: "parse", Duration: p.Parse})
+	}
+	stages = append(stages,
+		obs.Stage{Name: "analyze", Duration: p.Analyze},
+		obs.Stage{Name: "schedule", Duration: p.Schedule},
+		obs.Stage{Name: "alloc", Duration: p.Alloc},
+		obs.Stage{Name: "lower", Duration: p.Lower},
+	)
+	return stages
+}
 
 // Compiled bundles every artifact of one compilation.
 type Compiled struct {
@@ -129,6 +150,9 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 	default:
 		return nil, fmt.Errorf("core: unknown allocation policy %v", opts.Alloc)
 	}
+	c.Phases.Alloc = time.Since(start)
+
+	start = time.Now()
 	k, err := kernel.Generate(p, c.Assignment)
 	if err != nil {
 		return nil, fmt.Errorf("core: lowering: %w", err)

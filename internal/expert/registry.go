@@ -1,0 +1,92 @@
+package expert
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Builder describes one expert algorithm constructor in the registry.
+type Builder struct {
+	// Name is the registry key ("ring-allreduce", "hm-allgather", …).
+	Name string
+	// Op is the collective operator the builder implements.
+	Op ir.OpType
+	// NParams is the number of integer parameters Build expects: 1 for
+	// flat algorithms (nRanks), 2 for hierarchical ones (nNodes,
+	// gpusPerNode).
+	NParams int
+	// Build constructs the algorithm.
+	Build func(params ...int) (*ir.Algorithm, error)
+}
+
+func one(f func(int) (*ir.Algorithm, error)) func(...int) (*ir.Algorithm, error) {
+	return func(p ...int) (*ir.Algorithm, error) { return f(p[0]) }
+}
+
+func two(f func(int, int) (*ir.Algorithm, error)) func(...int) (*ir.Algorithm, error) {
+	return func(p ...int) (*ir.Algorithm, error) { return f(p[0], p[1]) }
+}
+
+var registry = map[string]Builder{}
+
+func register(name string, op ir.OpType, nParams int, build func(...int) (*ir.Algorithm, error)) {
+	registry[name] = Builder{Name: name, Op: op, NParams: nParams, Build: build}
+}
+
+func init() {
+	register("ring-allgather", ir.OpAllGather, 1, one(RingAllGather))
+	register("ring-allreduce", ir.OpAllReduce, 1, one(RingAllReduce))
+	register("ring-reducescatter", ir.OpReduceScatter, 1, one(RingReduceScatter))
+	register("tree-allreduce", ir.OpAllReduce, 1, one(TreeAllReduce))
+	register("bruck-allgather", ir.OpAllGather, 1, one(BruckAllGather))
+	register("rhd-allreduce", ir.OpAllReduce, 1, one(RHDAllReduce))
+	register("mesh-allgather", ir.OpAllGather, 1, one(MeshAllGather))
+	register("mesh-allreduce", ir.OpAllReduce, 1, one(MeshAllReduce))
+	register("binomial-broadcast", ir.OpBroadcast, 1, one(BinomialBroadcast))
+	register("direct-alltoall", ir.OpAllToAll, 1, one(DirectAllToAll))
+	register("hm-allgather", ir.OpAllGather, 2, two(HMAllGather))
+	register("hm-allreduce", ir.OpAllReduce, 2, two(HMAllReduce))
+	register("hm-reducescatter", ir.OpReduceScatter, 2, two(HMReduceScatter))
+	register("hierarchical-broadcast", ir.OpBroadcast, 2, two(HierarchicalBroadcast))
+	register("hierarchical-alltoall", ir.OpAllToAll, 2, two(HierarchicalAllToAll))
+}
+
+// Names returns every registered builder name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Build constructs the named algorithm. Flat algorithms take one
+// parameter (nRanks); hierarchical ones take two (nNodes, gpusPerNode).
+func Build(name string, params ...int) (*ir.Algorithm, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("expert: unknown algorithm %q (known: %v)", name, Names())
+	}
+	if len(params) != b.NParams {
+		return nil, fmt.Errorf("expert: algorithm %q takes %d parameter(s), got %d", name, b.NParams, len(params))
+	}
+	return b.Build(params...)
+}
+
+// Registry returns every registered builder, sorted by name.
+func Registry() []Builder {
+	out := make([]Builder, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -97,6 +97,29 @@ func PlanFor(bufferBytes, chunkBytes int64, nChunks int) Plan {
 	}
 }
 
+// InstanceSpan records one executed task invocation when the run is
+// configured with RecordTimeline: which task, which micro-batch, when it
+// ran (startup + data phase), which TBs drove it and which links it
+// crossed. Spans are appended in completion order, which is
+// deterministic.
+type InstanceSpan struct {
+	// Task is the task's index within its session's graph.
+	Task ir.TaskID
+	// MB is the micro-batch invocation index.
+	MB int
+	// Src and Dst are the transfer endpoints.
+	Src, Dst ir.Rank
+	// SendTB and RecvTB are the kernel-local thread-block IDs that
+	// executed the primitive pair.
+	SendTB, RecvTB int
+	// Start and End bound the instance (startup latency + data phase) in
+	// simulated seconds.
+	Start, End float64
+	// Links are the communication links the transfer occupied (shared
+	// with the kernel graph; treat as read-only).
+	Links []topo.LinkID
+}
+
 // TBStats reports one thread block's lifecycle.
 type TBStats struct {
 	ID    int
@@ -139,6 +162,9 @@ type Result struct {
 	// Faults lists the fault windows the simulator applied (opened)
 	// during the run, in firing order. Empty for fault-free runs.
 	Faults []FaultEvent
+	// Timeline holds one record per executed task instance when the run
+	// was configured with RecordTimeline, in completion order.
+	Timeline []InstanceSpan
 }
 
 // MultiResult is the outcome of a concurrent run.
@@ -357,6 +383,9 @@ type session struct {
 	// i when the kernel runs with a per-micro-batch barrier.
 	mbRemaining []int
 	mbReleased  int
+
+	// timeline accumulates per-instance spans under RecordTimeline.
+	timeline []InstanceSpan
 }
 
 type sim struct {
@@ -671,6 +700,16 @@ func (s *sim) finishInstance(t gid) {
 
 	sendTB := s.tbs[se.tbOff+se.k.SendTB[ts.local]]
 	recvTB := s.tbs[se.tbOff+se.k.RecvTB[ts.local]]
+	if s.cfg.RecordTimeline {
+		task := se.k.Graph.Tasks[ts.local]
+		se.timeline = append(se.timeline, InstanceSpan{
+			Task: ts.local, MB: ts.doneMB - 1,
+			Src: task.Src, Dst: task.Dst,
+			SendTB: se.k.SendTB[ts.local], RecvTB: se.k.RecvTB[ts.local],
+			Start: sendTB.started, End: s.now,
+			Links: se.k.Graph.Links[ts.local],
+		})
+	}
 	for _, tb := range []*tbState{sendTB, recvTB} {
 		tb.exec += s.now - tb.started
 		if s.cfg.RecordTimeline {
@@ -772,6 +811,7 @@ func (s *sim) result() *MultiResult {
 			Events:     s.processed,
 			LinkBusy:   mr.LinkBusy,
 			Faults:     mr.Faults,
+			Timeline:   se.timeline,
 		}
 		if se.buffer > 0 && se.completion > 0 {
 			r.AlgoBW = float64(se.buffer) / se.completion

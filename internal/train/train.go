@@ -14,8 +14,10 @@ import (
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
+	"github.com/resccl/resccl/internal/trace"
 )
 
 // ModelConfig describes one transformer model.
@@ -84,6 +86,14 @@ type Config struct {
 	// on a single-server sub-topology with its own resource namespace
 	// and are not faulted. Mutually exclusive with FaultRate.
 	Faults *fault.Schedule
+	// Trace, when non-nil, collects compile-stage spans and the
+	// simulated timeline of every collective the iteration issues
+	// (ressclsim -trace-out). Faulted collectives record the faulted
+	// rerun, the one whose time enters the iteration.
+	Trace *obs.Trace
+	// Metrics, when non-nil, accumulates simulator counters and
+	// per-link busy-time gauges (ressclsim -metrics-json).
+	Metrics *obs.Metrics
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -150,16 +160,28 @@ type Result struct {
 	Throughput float64
 }
 
+// sink bundles the observability destinations of one collective, with a
+// label prefix naming its role in the iteration ("tp", "dp"). The zero
+// value records nothing (obs methods are nil-safe).
+type sink struct {
+	tr    *obs.Trace
+	m     *obs.Metrics
+	label string
+}
+
 // commTime simulates one AllReduce of bufBytes per rank on tp using the
 // backend, returning its completion time and per-GPU TB footprint. A
 // positive faultRate reruns the collective under a seeded schedule of
 // that many events landing within the clean completion window; a
-// non-nil spec reruns it under that explicit schedule instead.
-func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule) (float64, int, error) {
+// non-nil spec reruns it under that explicit schedule instead. When o
+// carries a trace, the final (possibly faulted) run records its
+// timeline.
+func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule, o sink) (float64, int, error) {
 	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		return 0, 0, err
 	}
+	o.tr.AddStages("compile", "compile/"+o.label+"/"+plan.Algo.Name, plan.Stages)
 	// Scale the chunk up for very large gradients (as real libraries
 	// do), capping the simulation at 64 micro-batches: training buffers
 	// are deep in the bandwidth-bound regime where chunk granularity no
@@ -168,10 +190,14 @@ func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes
 	if c := bufBytes / int64(plan.Algo.NChunks*64); c > chunk {
 		chunk = c
 	}
-	res, err := sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: chunk})
+	record := o.tr != nil
+	res, err := sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes,
+		ChunkBytes: chunk, RecordTimeline: record})
 	if err != nil {
 		return 0, 0, err
 	}
+	o.m.Add("sim.runs", 1)
+	o.m.Add("sim.events", int64(res.Events))
 	sched := spec
 	if sched == nil && faultRate > 0 {
 		sched = fault.Generate(tp, fault.Params{
@@ -181,10 +207,18 @@ func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes
 		})
 	}
 	if sched != nil {
-		res, err = sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: chunk, Faults: sched})
+		res, err = sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes,
+			ChunkBytes: chunk, Faults: sched, RecordTimeline: record})
 		if err != nil {
 			return 0, 0, err
 		}
+		o.m.Add("sim.runs", 1)
+		o.m.Add("sim.events", int64(res.Events))
+	}
+	o.m.Add("sim.instances", int64(res.Instances))
+	trace.LinkBusyGauges(o.m, tp, res.LinkBusy)
+	if record {
+		o.tr.AddTimeline(trace.BuildTimeline(o.label+"/"+plan.Backend+"/"+plan.Algo.Name, plan.Kernel, tp, res))
 	}
 	return res.Completion, plan.Kernel.MaxTBsPerRank(), nil
 }
@@ -235,7 +269,8 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 		}
 		// Explicit fault specs name full-cluster resources, so the TP
 		// sub-topology never sees them (see Config.Faults).
-		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed, nil)
+		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed, nil,
+			sink{tr: cfg.Trace, m: cfg.Metrics, label: "tp"})
 		if err != nil {
 			return nil, fmt.Errorf("train: TP comm: %w", err)
 		}
@@ -258,7 +293,8 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 			var algo *ir.Algorithm
 			algo, err = arAlgo(cfg.NNodes, cfg.GPN)
 			if err == nil {
-				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed, cfg.Faults)
+				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed, cfg.Faults,
+					sink{tr: cfg.Trace, m: cfg.Metrics, label: "dp"})
 			}
 		}
 		if err != nil {
@@ -300,7 +336,9 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 	if c := gradBytes / int64(ring.NChunks*64); c > chunk {
 		chunk = c
 	}
+	record := cfg.Trace != nil
 	var sessions []sim.Session
+	var plans []*backend.Plan
 	tbs := 0
 	for l := 0; l < cfg.TP; l++ {
 		ranks := make([]ir.Rank, cfg.DP)
@@ -315,15 +353,19 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 		if err != nil {
 			return 0, 0, err
 		}
+		cfg.Trace.AddStages("compile", fmt.Sprintf("compile/dp[%d]/%s", l, plan.Algo.Name), plan.Stages)
 		if t := plan.Kernel.MaxTBsPerRank(); t > tbs {
 			tbs = t
 		}
+		plans = append(plans, plan)
 		sessions = append(sessions, sim.Session{Kernel: plan.Kernel, BufferBytes: gradBytes, ChunkBytes: chunk})
 	}
-	mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions})
+	mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions, RecordTimeline: record})
 	if err != nil {
 		return 0, 0, err
 	}
+	cfg.Metrics.Add("sim.runs", 1)
+	cfg.Metrics.Add("sim.events", int64(mr.Events))
 	sched := cfg.Faults
 	if sched == nil && cfg.FaultRate > 0 {
 		nTBs := 0
@@ -337,9 +379,20 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 		})
 	}
 	if sched != nil {
-		mr, err = sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions, Faults: sched})
+		mr, err = sim.RunConcurrent(sim.MultiConfig{Topo: tp, Sessions: sessions, Faults: sched, RecordTimeline: record})
 		if err != nil {
 			return 0, 0, err
+		}
+		cfg.Metrics.Add("sim.runs", 1)
+		cfg.Metrics.Add("sim.events", int64(mr.Events))
+	}
+	trace.LinkBusyGauges(cfg.Metrics, tp, mr.LinkBusy)
+	for l, res := range mr.Sessions {
+		cfg.Metrics.Add("sim.instances", int64(res.Instances))
+		if record {
+			cfg.Trace.AddTimeline(trace.BuildTimeline(
+				fmt.Sprintf("dp[%d]/%s/%s", l, plans[l].Backend, plans[l].Algo.Name),
+				plans[l].Kernel, tp, res))
 		}
 	}
 	return mr.Completion, tbs, nil

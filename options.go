@@ -1,0 +1,116 @@
+package resccl
+
+import (
+	"github.com/resccl/resccl/internal/obs"
+)
+
+// Trace collects observability spans (compile stages, execution) and
+// simulated-execution timelines; export it with WriteChrome.
+type Trace = obs.Trace
+
+// Metrics is the counters/gauges registry (plan-cache hits, simulator
+// event counts, per-link busy time); export it with WriteJSON.
+type Metrics = obs.Metrics
+
+// Timeline is the simulated execution record of one collective: one
+// track per thread block and per link, plus fault/replan lanes.
+type Timeline = obs.Timeline
+
+// NewTrace returns an empty trace sink.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Option configures a Communicator at construction time.
+type Option interface{ applyComm(*Communicator) }
+
+// RunOption configures one collective invocation. Options that implement
+// both interfaces (WithChunkBytes, WithTraceSink, …) can be set as a
+// communicator-wide default and overridden per call; per-call options
+// always win.
+type RunOption interface{ applyRun(*runSettings) }
+
+// CommRunOption works both as a communicator default (Option) and as a
+// per-call override (RunOption).
+type CommRunOption interface {
+	Option
+	RunOption
+}
+
+// runSettings is the effective configuration of one collective call:
+// the communicator's defaults overlaid with per-call RunOptions.
+type runSettings struct {
+	chunkBytes int64
+	autoTune   bool
+	trace      *obs.Trace
+	metrics    *obs.Metrics
+	timeline   bool
+}
+
+type commOption func(*Communicator)
+
+func (o commOption) applyComm(c *Communicator) { o(c) }
+
+type dualOption struct {
+	run func(*runSettings)
+}
+
+func (o dualOption) applyComm(c *Communicator) { o.run(&c.def) }
+func (o dualOption) applyRun(s *runSettings)   { o.run(s) }
+
+// WithBackend selects the execution backend (default BackendResCCL).
+// Backends are fixed at construction, so this is not a per-call option.
+func WithBackend(k BackendKind) Option {
+	return commOption(func(c *Communicator) { c.kind = k })
+}
+
+// WithChunkBytes overrides the transfer chunk size (default 1 MiB, as
+// in the paper's CCL configuration). Usable per communicator or per
+// call.
+func WithChunkBytes(n int64) CommRunOption {
+	return dualOption{run: func(s *runSettings) {
+		s.chunkBytes = n
+		s.autoTune = false
+	}}
+}
+
+// WithAutoTunedChunks picks the chunk size per call from the Eq. 5
+// task-level estimate (core.TuneChunkSize): larger chunks amortize the
+// per-transfer startup cost on big buffers while small buffers keep
+// enough micro-batches for pipelining.
+func WithAutoTunedChunks() CommRunOption {
+	return dualOption{run: func(s *runSettings) { s.autoTune = true }}
+}
+
+// WithTraceSink records observability data into t: compile-stage spans
+// on cache misses, execution spans, and the simulated timeline of every
+// run (implies timeline recording). Export with t.WriteChrome.
+func WithTraceSink(t *Trace) CommRunOption {
+	return dualOption{run: func(s *runSettings) { s.trace = t }}
+}
+
+// WithMetrics publishes counters and gauges into m: plan-cache
+// hits/misses, simulator event and instance counts, per-link busy time.
+func WithMetrics(m *Metrics) CommRunOption {
+	return dualOption{run: func(s *runSettings) { s.metrics = m }}
+}
+
+// WithTimeline enables per-instance timeline recording for the run even
+// without a trace sink, making Run.Timeline available. Recording costs
+// one record per task instance.
+func WithTimeline() CommRunOption {
+	return dualOption{run: func(s *runSettings) { s.timeline = true }}
+}
+
+// settings resolves the effective configuration for one call.
+func (c *Communicator) settings(opts []RunOption) runSettings {
+	s := c.def
+	for _, o := range opts {
+		o.applyRun(&s)
+	}
+	if s.trace != nil {
+		s.timeline = true
+	}
+	return s
+}

@@ -1,0 +1,249 @@
+package resccl_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/resccl/resccl"
+)
+
+func TestRunOptionPrecedence(t *testing.T) {
+	tp := resccl.NewTopology(2, 4, resccl.A100())
+	comm, err := resccl.NewCommunicator(tp,
+		resccl.WithBackend(resccl.BackendResCCL),
+		resccl.WithChunkBytes(4<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := comm.AllReduce(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-call option overrides the communicator default: 1 MiB chunks
+	// quadruple the micro-batch count of 4 MiB chunks.
+	fine, err := comm.AllReduce(64<<20, resccl.WithChunkBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine.MicroBatches() != 4*base.MicroBatches() {
+		t.Errorf("per-call 1MiB chunks gave %d micro-batches, communicator 4MiB gave %d; want 4x",
+			fine.MicroBatches(), base.MicroBatches())
+	}
+	// The per-call override must not stick to the communicator.
+	again, err := comm.AllReduce(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.MicroBatches() != base.MicroBatches() {
+		t.Errorf("per-call option leaked into communicator state: %d vs %d micro-batches",
+			again.MicroBatches(), base.MicroBatches())
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := resccl.NewCommunicator(nil); !errors.Is(err, resccl.ErrNilTopology) {
+		t.Errorf("nil topology: got %v, want ErrNilTopology", err)
+	}
+	tp := resccl.NewTopology(1, 4, resccl.A100())
+	if _, err := resccl.NewCommunicator(tp, resccl.WithBackend(resccl.BackendKind(99))); !errors.Is(err, resccl.ErrUnknownBackend) {
+		t.Errorf("bad backend: got %v, want ErrUnknownBackend", err)
+	}
+	comm, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comm.AllReduce(0); !errors.Is(err, resccl.ErrInvalidBuffer) {
+		t.Errorf("zero buffer: got %v, want ErrInvalidBuffer", err)
+	}
+	if _, err := comm.AllGather(-1); !errors.Is(err, resccl.ErrInvalidBuffer) {
+		t.Errorf("negative buffer: got %v, want ErrInvalidBuffer", err)
+	}
+	if _, err := resccl.SimulateTraining(resccl.TrainConfig{}, resccl.BackendKind(99)); !errors.Is(err, resccl.ErrUnknownBackend) {
+		t.Errorf("training bad backend: got %v, want ErrUnknownBackend", err)
+	}
+	if _, err := resccl.BuildAlgorithm("no-such-algorithm", 8); !errors.Is(err, resccl.ErrUnknownAlgorithm) {
+		t.Errorf("unknown algorithm: got %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestAlgorithmRegistry(t *testing.T) {
+	names := resccl.AlgorithmNames()
+	if len(names) < 15 {
+		t.Errorf("registry has %d algorithms, want >= 15", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	infos := resccl.AlgorithmRegistry()
+	if len(infos) != len(names) {
+		t.Errorf("AlgorithmRegistry has %d entries, AlgorithmNames %d", len(infos), len(names))
+	}
+	algo, err := resccl.BuildAlgorithm("hm-allreduce", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algo.NRanks != 8 {
+		t.Errorf("hm-allreduce(2,4) has %d ranks, want 8", algo.NRanks)
+	}
+	// Wrong parameter count must be rejected, not silently defaulted.
+	if _, err := resccl.BuildAlgorithm("hm-allreduce", 8); err == nil {
+		t.Error("hm-allreduce with 1 param should fail (wants nodes, gpus)")
+	}
+	// The built algorithm must run through the public API.
+	comm := newComm(t, resccl.BackendResCCL)
+	if _, err := comm.RunAlgorithm(algo, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTimelineExport(t *testing.T) {
+	comm := newComm(t, resccl.BackendResCCL)
+	plain, err := comm.AllReduce(64 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Timeline() != nil {
+		t.Error("timeline recorded without WithTimeline")
+	}
+	run, err := comm.AllReduce(64<<20, resccl.WithTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := run.Timeline()
+	if tl == nil {
+		t.Fatal("WithTimeline produced no timeline")
+	}
+	if len(tl.TBs) == 0 || len(tl.Links) == 0 {
+		t.Fatalf("timeline has %d TB tracks and %d link tracks, want >= 1 of each", len(tl.TBs), len(tl.Links))
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("Run.Timeline Chrome export is not valid JSON")
+	}
+}
+
+func TestTraceSinkAndMetrics(t *testing.T) {
+	tr := resccl.NewTrace()
+	m := resccl.NewMetrics()
+	comm := newComm(t, resccl.BackendResCCL)
+	if _, err := comm.AllReduce(64<<20, resccl.WithTraceSink(tr), resccl.WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tr.Timelines()); n != 1 {
+		t.Errorf("trace sink collected %d timelines, want 1", n)
+	}
+	var compile, execute bool
+	for _, sp := range tr.Spans() {
+		switch sp.Cat {
+		case "compile":
+			compile = true
+		case "execute":
+			execute = true
+		}
+	}
+	if !compile || !execute {
+		t.Errorf("spans missing categories: compile=%v execute=%v", compile, execute)
+	}
+	if got := m.Counter("sim.runs"); got != 1 {
+		t.Errorf("sim.runs = %d, want 1", got)
+	}
+	if got := m.Counter("plan_cache.misses"); got != 1 {
+		t.Errorf("plan_cache.misses = %d, want 1", got)
+	}
+	if m.Counter("sim.events") == 0 {
+		t.Error("sim.events not counted")
+	}
+	// Second identical call hits the plan cache.
+	if _, err := comm.AllReduce(64<<20, resccl.WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counter("plan_cache.hits"); got != 1 {
+		t.Errorf("plan_cache.hits = %d, want 1", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Error("WriteChrome output is not valid JSON")
+	}
+}
+
+// TestPlanCacheStructuralKey guards the fix for the plan-cache collision:
+// two different algorithms sharing name, operator, rank count and
+// transfer count must not share a cache entry. The direct and chain
+// broadcasts below collide on every field of the old tuple key.
+func TestPlanCacheStructuralKey(t *testing.T) {
+	direct := `
+def ResCCLAlgo(nRanks=8, AlgoName="Bcast", OpType="Broadcast"):
+    for c in range(0, 8):
+        for r in range(1, 8):
+            transfer(0, r, 0, c, recv)
+`
+	chain := `
+def ResCCLAlgo(nRanks=8, AlgoName="Bcast", OpType="Broadcast"):
+    for c in range(0, 8):
+        for r in range(0, 7):
+            transfer(r, r+1, r, c, recv)
+`
+	a1, err := resccl.CompileLang(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := resccl.CompileLang(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Name != a2.Name || a1.Op != a2.Op || a1.NRanks != a2.NRanks || len(a1.Transfers) != len(a2.Transfers) {
+		t.Fatalf("test algorithms no longer collide on the legacy key: %s/%v/%d/%d vs %s/%v/%d/%d",
+			a1.Name, a1.Op, a1.NRanks, len(a1.Transfers), a2.Name, a2.Op, a2.NRanks, len(a2.Transfers))
+	}
+	comm := newComm(t, resccl.BackendResCCL)
+	r1, err := comm.RunAlgorithm(a1, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := comm.RunAlgorithm(a2, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := comm.PlanCacheStats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Errorf("cache stats = %d hits / %d misses, want 0/2: structurally different algorithms collided", st.Hits, st.Misses)
+	}
+	if st.Entries != 2 {
+		t.Errorf("cache entries = %d, want 2", st.Entries)
+	}
+	// Direct and chain broadcasts have different critical paths; a
+	// collision would make these identical.
+	if r1.Completion == r2.Completion {
+		t.Error("direct and chain broadcast completed identically — plan cache likely collided")
+	}
+}
+
+func TestDeprecatedAlgorithmsStructStillWorks(t *testing.T) {
+	// Old call sites keep compiling and agree with the registry.
+	a1, err := resccl.Algorithms.RingAllReduce(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := resccl.BuildAlgorithm("ring-allreduce", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Name != a2.Name || len(a1.Transfers) != len(a2.Transfers) {
+		t.Errorf("struct and registry builders disagree: %s/%d vs %s/%d",
+			a1.Name, len(a1.Transfers), a2.Name, len(a2.Transfers))
+	}
+	if !strings.Contains(strings.Join(resccl.AlgorithmNames(), " "), "ring-allreduce") {
+		t.Error("registry missing ring-allreduce")
+	}
+}

@@ -1,0 +1,43 @@
+package resccl
+
+import (
+	"fmt"
+
+	"github.com/resccl/resccl/internal/expert"
+)
+
+// AlgorithmInfo describes one entry of the expert algorithm registry.
+type AlgorithmInfo struct {
+	// Name is the registry key ("ring-allreduce", "hm-allgather", …).
+	Name string
+	// Op is the collective operator the algorithm implements.
+	Op Op
+	// NParams is the number of integer parameters BuildAlgorithm
+	// expects: 1 for flat algorithms (nRanks), 2 for hierarchical ones
+	// (nNodes, gpusPerNode).
+	NParams int
+}
+
+// AlgorithmNames returns the names of every expert algorithm builder,
+// sorted. Each can be instantiated with BuildAlgorithm.
+func AlgorithmNames() []string { return expert.Names() }
+
+// AlgorithmRegistry returns the full registry, sorted by name.
+func AlgorithmRegistry() []AlgorithmInfo {
+	builders := expert.Registry()
+	out := make([]AlgorithmInfo, len(builders))
+	for i, b := range builders {
+		out[i] = AlgorithmInfo{Name: b.Name, Op: b.Op, NParams: b.NParams}
+	}
+	return out
+}
+
+// BuildAlgorithm constructs a registered expert algorithm by name. Flat
+// algorithms take one parameter (nRanks); hierarchical ones take two
+// (nNodes, gpusPerNode). Unknown names return ErrUnknownAlgorithm.
+func BuildAlgorithm(name string, params ...int) (*Algorithm, error) {
+	if _, ok := expert.Lookup(name); !ok {
+		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, name, expert.Names())
+	}
+	return expert.Build(name, params...)
+}

@@ -21,7 +21,6 @@ package resccl
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -30,6 +29,7 @@ import (
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/lang"
+	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/rt"
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
@@ -109,49 +109,32 @@ func (k BackendKind) String() string {
 	}
 }
 
-// Option configures a Communicator.
-type Option func(*Communicator)
-
-// WithBackend selects the execution backend (default BackendResCCL).
-func WithBackend(k BackendKind) Option { return func(c *Communicator) { c.kind = k } }
-
-// WithChunkBytes overrides the transfer chunk size (default 1 MiB, as
-// in the paper's CCL configuration).
-func WithChunkBytes(n int64) Option { return func(c *Communicator) { c.chunkBytes = n } }
-
-// WithAutoTunedChunks picks the chunk size per call from the Eq. 5
-// task-level estimate (core.TuneChunkSize): larger chunks amortize the
-// per-transfer startup cost on big buffers while small buffers keep
-// enough micro-batches for pipelining.
-func WithAutoTunedChunks() Option { return func(c *Communicator) { c.autoTune = true } }
-
 // Communicator executes collectives over a fixed topology, caching
-// compiled plans per algorithm.
+// compiled plans by structural fingerprint.
 type Communicator struct {
-	topo       *Topology
-	kind       BackendKind
-	chunkBytes int64
-	autoTune   bool
+	topo *Topology
+	kind BackendKind
+	// def holds communicator-wide run defaults; per-call RunOptions
+	// overlay it (options.go).
+	def runSettings
 
 	backend backend.Backend
-
-	mu    sync.Mutex
-	plans map[string]*backend.Plan
+	cache   *backend.Cache
 }
 
 // NewCommunicator creates a communicator over tp.
 func NewCommunicator(tp *Topology, opts ...Option) (*Communicator, error) {
 	if tp == nil {
-		return nil, fmt.Errorf("resccl: nil topology")
+		return nil, ErrNilTopology
 	}
 	c := &Communicator{
-		topo:       tp,
-		kind:       BackendResCCL,
-		chunkBytes: 1 << 20,
-		plans:      make(map[string]*backend.Plan),
+		topo:  tp,
+		kind:  BackendResCCL,
+		def:   runSettings{chunkBytes: 1 << 20},
+		cache: backend.NewCache(),
 	}
 	for _, o := range opts {
-		o(c)
+		o.applyComm(c)
 	}
 	switch c.kind {
 	case BackendResCCL:
@@ -161,7 +144,7 @@ func NewCommunicator(tp *Topology, opts ...Option) (*Communicator, error) {
 	case BackendMSCCL:
 		c.backend = backend.NewMSCCL()
 	default:
-		return nil, fmt.Errorf("resccl: unknown backend %v", c.kind)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownBackend, c.kind)
 	}
 	return c, nil
 }
@@ -182,8 +165,9 @@ type Run struct {
 	// Completion is the simulated wall time of the collective.
 	Completion time.Duration
 
-	result *sim.Result
-	util   *trace.Utilization
+	result   *sim.Result
+	util     *trace.Utilization
+	timeline *obs.Timeline
 }
 
 // AlgoBandwidth returns BufferBytes/Completion in bytes/s — the
@@ -201,6 +185,11 @@ func (r *Run) LinkUtilization() float64 { return r.result.MeanLinkUtilization() 
 // Utilization returns the thread-block utilization report (Table 3's
 // metrics).
 func (r *Run) Utilization() *trace.Utilization { return r.util }
+
+// Timeline returns the run's simulated execution timeline, or nil when
+// the run was not configured with WithTimeline or WithTraceSink. Export
+// it with Timeline.WriteChrome, or add it to a Trace.
+func (r *Run) Timeline() *Timeline { return r.timeline }
 
 // defaultAlgorithm picks the communicator's standard algorithm for an
 // operator on its topology: the hierarchical mesh algorithms across
@@ -242,95 +231,115 @@ func (c *Communicator) defaultAlgorithm(op Op) (*Algorithm, error) {
 		// Algorithms catalog for footprint-constrained deployments.
 		return expert.DirectAllToAll(c.topo.NRanks())
 	default:
-		return nil, fmt.Errorf("resccl: no default algorithm for %v", op)
+		return nil, fmt.Errorf("%w: no default for %v", ErrUnknownAlgorithm, op)
 	}
 }
 
 // AllReduce executes an AllReduce of bufferBytes per rank.
-func (c *Communicator) AllReduce(bufferBytes int64) (*Run, error) {
-	return c.runOp(AllReduce, bufferBytes)
+func (c *Communicator) AllReduce(bufferBytes int64, opts ...RunOption) (*Run, error) {
+	return c.runOp(AllReduce, bufferBytes, opts)
 }
 
 // AllGather executes an AllGather of bufferBytes per rank.
-func (c *Communicator) AllGather(bufferBytes int64) (*Run, error) {
-	return c.runOp(AllGather, bufferBytes)
+func (c *Communicator) AllGather(bufferBytes int64, opts ...RunOption) (*Run, error) {
+	return c.runOp(AllGather, bufferBytes, opts)
 }
 
 // ReduceScatter executes a ReduceScatter of bufferBytes per rank.
-func (c *Communicator) ReduceScatter(bufferBytes int64) (*Run, error) {
-	return c.runOp(ReduceScatter, bufferBytes)
+func (c *Communicator) ReduceScatter(bufferBytes int64, opts ...RunOption) (*Run, error) {
+	return c.runOp(ReduceScatter, bufferBytes, opts)
 }
 
 // Broadcast sends rank 0's bufferBytes to every rank.
-func (c *Communicator) Broadcast(bufferBytes int64) (*Run, error) {
-	return c.runOp(Broadcast, bufferBytes)
+func (c *Communicator) Broadcast(bufferBytes int64, opts ...RunOption) (*Run, error) {
+	return c.runOp(Broadcast, bufferBytes, opts)
 }
 
 // AllToAll exchanges personalized segments: every rank sends bufferBytes
 // split into per-destination segments (the MoE dispatch pattern).
-func (c *Communicator) AllToAll(bufferBytes int64) (*Run, error) {
-	return c.runOp(AllToAll, bufferBytes)
+func (c *Communicator) AllToAll(bufferBytes int64, opts ...RunOption) (*Run, error) {
+	return c.runOp(AllToAll, bufferBytes, opts)
 }
 
-func (c *Communicator) runOp(op Op, bufferBytes int64) (*Run, error) {
+func (c *Communicator) runOp(op Op, bufferBytes int64, opts []RunOption) (*Run, error) {
 	algo, err := c.defaultAlgorithm(op)
 	if err != nil {
 		return nil, err
 	}
-	return c.RunAlgorithm(algo, bufferBytes)
+	return c.RunAlgorithm(algo, bufferBytes, opts...)
 }
 
 // RunAlgorithm compiles (or reuses a cached plan for) the algorithm and
-// executes it with the given per-rank payload.
-func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64) (*Run, error) {
+// executes it with the given per-rank payload. Per-call RunOptions
+// override the communicator's defaults.
+func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...RunOption) (*Run, error) {
 	if bufferBytes <= 0 {
-		return nil, fmt.Errorf("resccl: buffer size must be positive, got %d", bufferBytes)
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidBuffer, bufferBytes)
 	}
-	plan, err := c.plan(algo)
+	s := c.settings(opts)
+	plan, err := c.plan(algo, &s)
 	if err != nil {
 		return nil, err
 	}
-	chunk := c.chunkBytes
-	if c.autoTune {
+	chunk := s.chunkBytes
+	if s.autoTune {
 		if tuned, err := core.TuneChunkSize(plan.Kernel.Graph, bufferBytes); err == nil {
 			chunk = tuned
 		}
 	}
+	span := s.trace.StartSpan("execute", "sim/"+plan.Algo.Name,
+		obs.Attr{Key: "backend", Value: plan.Backend})
 	res, err := sim.Run(sim.Config{
-		Topo:        c.topo,
-		Kernel:      plan.Kernel,
-		BufferBytes: bufferBytes,
-		ChunkBytes:  chunk,
+		Topo:           c.topo,
+		Kernel:         plan.Kernel,
+		BufferBytes:    bufferBytes,
+		ChunkBytes:     chunk,
+		RecordTimeline: s.timeline,
 	})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
-	return &Run{
+	s.metrics.Add("sim.runs", 1)
+	s.metrics.Add("sim.events", int64(res.Events))
+	s.metrics.Add("sim.instances", int64(res.Instances))
+	trace.LinkBusyGauges(s.metrics, c.topo, res.LinkBusy)
+	run := &Run{
 		Backend:     plan.Backend,
 		Algorithm:   plan.Algo.Name,
 		BufferBytes: bufferBytes,
 		Completion:  time.Duration(res.Completion * float64(time.Second)),
 		result:      res,
 		util:        trace.Analyze(plan.Kernel, res, plan.Backend),
-	}, nil
+	}
+	if s.timeline {
+		run.timeline = trace.BuildTimeline(plan.Backend+"/"+plan.Algo.Name, plan.Kernel, c.topo, res)
+		s.trace.AddTimeline(run.timeline)
+	}
+	return run, nil
 }
 
-// plan compiles the algorithm with the communicator's backend, caching
-// by algorithm identity (name, operator and size).
-func (c *Communicator) plan(algo *Algorithm) (*backend.Plan, error) {
-	key := fmt.Sprintf("%s/%v/%d/%d", algo.Name, algo.Op, algo.NRanks, len(algo.Transfers))
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if p, ok := c.plans[key]; ok {
-		return p, nil
-	}
-	p, err := c.backend.Compile(backend.Request{Algo: algo, Topo: c.topo})
+// plan compiles the algorithm with the communicator's backend through
+// the structural plan cache (keyed on backend configuration, algorithm
+// transfers and topology — not just the algorithm's name). On a miss it
+// records the backend's compile stages into the call's trace sink and
+// counts cache traffic into its metrics.
+func (c *Communicator) plan(algo *Algorithm, s *runSettings) (*backend.Plan, error) {
+	p, hit, err := c.cache.CompileNoted(c.backend, backend.Request{Algo: algo, Topo: c.topo})
 	if err != nil {
 		return nil, err
 	}
-	c.plans[key] = p
+	if hit {
+		s.metrics.Add("plan_cache.hits", 1)
+	} else {
+		s.metrics.Add("plan_cache.misses", 1)
+		s.trace.AddStages("compile", "compile/"+algo.Name, p.Stages)
+	}
 	return p, nil
 }
+
+// PlanCacheStats snapshots the communicator's plan-cache counters.
+func (c *Communicator) PlanCacheStats() backend.CacheStats { return c.cache.Stats() }
 
 // Verify checks an algorithm's correctness on the data plane against
 // its operator postcondition (without simulating timing).
@@ -354,31 +363,37 @@ func EmbedAlgorithm(algo *Algorithm, ranks []ir.Rank, fullRanks int) (*Algorithm
 // co-located tenants. bufferBytes[i] is the payload of algos[i]. The
 // returned runs are in input order; each Run's Completion is that
 // collective's own finish time under contention.
-func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64) ([]*Run, error) {
+func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64, opts ...RunOption) ([]*Run, error) {
 	if len(algos) == 0 || len(algos) != len(bufferBytes) {
 		return nil, fmt.Errorf("resccl: need equal, non-zero numbers of algorithms and buffer sizes")
 	}
+	s := c.settings(opts)
+	plans := make([]*backend.Plan, len(algos))
 	sessions := make([]sim.Session, len(algos))
 	for i, algo := range algos {
 		if bufferBytes[i] <= 0 {
-			return nil, fmt.Errorf("resccl: buffer %d must be positive", i)
+			return nil, fmt.Errorf("%w: buffer %d", ErrInvalidBuffer, i)
 		}
-		plan, err := c.plan(algo)
+		plan, err := c.plan(algo, &s)
 		if err != nil {
 			return nil, err
 		}
-		sessions[i] = sim.Session{Kernel: plan.Kernel, BufferBytes: bufferBytes[i], ChunkBytes: c.chunkBytes}
+		plans[i] = plan
+		sessions[i] = sim.Session{Kernel: plan.Kernel, BufferBytes: bufferBytes[i], ChunkBytes: s.chunkBytes}
 	}
-	mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: c.topo, Sessions: sessions})
+	span := s.trace.StartSpan("execute", fmt.Sprintf("sim/concurrent(%d)", len(algos)))
+	mr, err := sim.RunConcurrent(sim.MultiConfig{Topo: c.topo, Sessions: sessions, RecordTimeline: s.timeline})
+	span.End()
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.Add("sim.runs", 1)
+	s.metrics.Add("sim.events", int64(mr.Events))
+	trace.LinkBusyGauges(s.metrics, c.topo, mr.LinkBusy)
 	runs := make([]*Run, len(algos))
 	for i, res := range mr.Sessions {
-		plan, err := c.plan(algos[i])
-		if err != nil {
-			return nil, err
-		}
+		plan := plans[i]
+		s.metrics.Add("sim.instances", int64(res.Instances))
 		runs[i] = &Run{
 			Backend:     plan.Backend,
 			Algorithm:   plan.Algo.Name,
@@ -386,6 +401,11 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64) 
 			Completion:  time.Duration(res.Completion * float64(time.Second)),
 			result:      res,
 			util:        trace.Analyze(plan.Kernel, res, plan.Backend),
+		}
+		if s.timeline {
+			name := fmt.Sprintf("session%d/%s/%s", i, plan.Backend, plan.Algo.Name)
+			runs[i].timeline = trace.BuildTimeline(name, plan.Kernel, c.topo, res)
+			s.trace.AddTimeline(runs[i].timeline)
 		}
 	}
 	return runs, nil
@@ -398,20 +418,29 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64) 
 // against the operator postcondition — proving the compiled plan is
 // deadlock-free and semantically correct, independent of the timing
 // simulator.
-func (c *Communicator) ExecuteAlgorithm(algo *Algorithm, microBatches int) error {
-	plan, err := c.plan(algo)
+func (c *Communicator) ExecuteAlgorithm(algo *Algorithm, microBatches int, opts ...RunOption) error {
+	s := c.settings(opts)
+	plan, err := c.plan(algo, &s)
 	if err != nil {
 		return err
 	}
+	span := s.trace.StartSpan("execute", "rt/"+plan.Algo.Name)
 	res, err := rt.Execute(rt.Config{Kernel: plan.Kernel, MicroBatches: microBatches})
+	span.End()
 	if err != nil {
 		return err
 	}
+	s.metrics.Add("rt.instances", int64(res.Instances))
+	s.metrics.Add("rt.replans", int64(len(res.ReplanEvents)))
 	return res.Verify()
 }
 
 // Algorithms exposes the library of expert-designed algorithm builders.
 // Synthesized-plan emulations live in the bench harness.
+//
+// Deprecated: use the registry (AlgorithmNames, BuildAlgorithm), which
+// covers the same builders by name and does not grow a struct field per
+// algorithm. Kept for source compatibility.
 var Algorithms = struct {
 	RingAllGather         func(nRanks int) (*Algorithm, error)
 	RingAllReduce         func(nRanks int) (*Algorithm, error)

@@ -22,7 +22,7 @@ func TestCommunicatorCollectives(t *testing.T) {
 	if comm.NRanks() != 8 {
 		t.Fatalf("NRanks = %d, want 8", comm.NRanks())
 	}
-	for _, op := range []func(int64) (*resccl.Run, error){
+	for _, op := range []func(int64, ...resccl.RunOption) (*resccl.Run, error){
 		comm.AllGather, comm.AllReduce, comm.ReduceScatter,
 	} {
 		run, err := op(256 << 20)

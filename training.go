@@ -1,6 +1,8 @@
 package resccl
 
 import (
+	"fmt"
+
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/train"
 )
@@ -40,17 +42,7 @@ func SimulateTraining(cfg TrainConfig, kind BackendKind) (*TrainResult, error) {
 	case BackendMSCCL:
 		b = backend.NewMSCCL()
 	default:
-		return nil, errUnknownBackend(kind)
+		return nil, fmt.Errorf("%w: %v", ErrUnknownBackend, kind)
 	}
 	return train.Simulate(cfg, b)
-}
-
-func errUnknownBackend(k BackendKind) error {
-	return &unknownBackendError{kind: k}
-}
-
-type unknownBackendError struct{ kind BackendKind }
-
-func (e *unknownBackendError) Error() string {
-	return "resccl: unknown backend " + e.kind.String()
 }
