@@ -1,0 +1,170 @@
+// Command resccl-analyzers is a `go vet -vettool` backend enforcing the
+// repository's determinism contract (see internal/analyzers): the
+// packages that must produce byte-identical traces across runs —
+// internal/sim, internal/sched, internal/obs — may not read the host
+// clock, draw from the global math/rand source, or iterate maps.
+//
+// Usage:
+//
+//	go build -o resccl-analyzers ./cmd/resccl-analyzers
+//	go vet -vettool=./resccl-analyzers ./...
+//
+// The tool speaks the cmd/vet unit-checker protocol directly with the
+// standard library, so it carries no dependency on an external analysis
+// framework:
+//
+//   - `resccl-analyzers -V=full` prints a version fingerprint (used by
+//     the build cache);
+//   - `resccl-analyzers -flags` prints the JSON list of tool flags
+//     (none);
+//   - `resccl-analyzers path/to/vet.cfg` analyzes one package: the cfg
+//     names the package's Go files and maps each import to the compiled
+//     export data of its dependencies, which go/importer reads for
+//     type-checking.
+//
+// Findings are printed to stderr as file:line:col: message and the tool
+// exits 2, which `go vet` reports as a failure. Packages outside the
+// determinism contract type-check trivially to an empty result.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"github.com/resccl/resccl/internal/analyzers"
+)
+
+// vetConfig mirrors the fields of the vet.cfg JSON file that cmd/go
+// writes for each package when invoking a vet tool.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			// The version string feeds go's build cache key; bump it when
+			// the analyzers change behaviour.
+			fmt.Println("resccl-analyzers version 1")
+			return
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) != 2 || !strings.HasSuffix(os.Args[1], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: resccl-analyzers vet.cfg (invoke via go vet -vettool)\n")
+		os.Exit(1)
+	}
+	n, err := run(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resccl-analyzers:", err)
+		os.Exit(1)
+	}
+	if n > 0 {
+		os.Exit(2)
+	}
+}
+
+// run analyzes the package described by the cfg file and returns the
+// number of findings printed.
+func run(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// go vet expects every invocation to leave a "facts" file behind for
+	// downstream packages, even an empty one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly || !analyzers.Deterministic(cfg.ImportPath) {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The contract covers production code; tests may use wall time
+		// and ad-hoc iteration for reporting.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0, nil
+	}
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+			mapped, ok := cfg.ImportMap[path]
+			if !ok {
+				mapped = path
+			}
+			file, ok := cfg.PackageFile[mapped]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+		Sizes: types.SizesFor(compiler, runtime.GOARCH),
+	}
+	if _, err := conf.Check(cfg.ImportPath, fset, files, info); err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+
+	ds := analyzers.Run(fset, files, info)
+	for _, d := range ds {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s\n", pos, d.Message)
+	}
+	return len(ds), nil
+}

@@ -10,6 +10,7 @@
 //	        [-alloc state|conn] [-dump-kernel] [-simulate 1GiB]
 //	ressclc -list-algos
 //	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -simulate 1GiB
+//	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -vet
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/resccl/resccl/internal/analyze"
 	"github.com/resccl/resccl/internal/core"
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/kernel"
@@ -47,6 +49,7 @@ func main() {
 		planIn   = flag.String("plan", "", "load a previously compiled plan file instead of compiling -in")
 		algoName = flag.String("algo", "", "compile a registered expert algorithm by name instead of a DSL file (see -list-algos)")
 		listAlgo = flag.Bool("list-algos", false, "list the expert algorithm registry and exit")
+		vetMode  = flag.Bool("vet", false, "statically analyze the compiled plan (deadlock, hazard, feasibility, dead-code lints) and exit: 0 clean, 3 diagnostics")
 	)
 	flag.Parse()
 	if *listAlgo {
@@ -61,6 +64,19 @@ func main() {
 		return
 	}
 	if *planIn != "" {
+		if *vetMode {
+			f, err := os.Open(*planIn)
+			if err != nil {
+				fatal(err)
+			}
+			k, _, err := kernel.Load(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			vetPlan(k)
+			return
+		}
 		runLoadedPlan(*planIn, *simulate, *timeline, *execRT)
 		return
 	}
@@ -135,6 +151,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *vetMode {
+		vetPlan(c.Kernel)
+		return
 	}
 
 	fmt.Printf("algorithm:      %s (%v, %d ranks, %d transfers)\n",
@@ -276,6 +297,21 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("invalid size %q", s)
 	}
 	return int64(v * float64(mult)), nil
+}
+
+// vetPlan runs the full static analysis suite over a compiled plan and
+// exits with the vet convention: 0 when the plan is clean, 3 when any
+// diagnostic (error or warning) fired. Operational failures keep the
+// compiler's usual exit 1.
+func vetPlan(k *kernel.Kernel) {
+	r, err := analyze.Plan(k, analyze.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(r.String())
+	if errs, warns, _ := r.Counts(); errs+warns > 0 {
+		os.Exit(3)
+	}
 }
 
 func fatal(err error) {

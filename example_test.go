@@ -58,7 +58,7 @@ func ExampleCommunicator_ExecuteAlgorithm() {
 	if err != nil {
 		panic(err)
 	}
-	algo, err := resccl.Algorithms.HMAllReduce(2, 4)
+	algo, err := resccl.BuildAlgorithm("hm-allreduce", 2, 4)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,325 @@
+// Package analyze is the static plan analyzer ("resccl vet"): it
+// consumes a compiled plan — the per-TB primitive programs of a
+// kernel.Kernel together with its dependency graph — and, without
+// executing or simulating anything, proves the absence of (or reports,
+// as typed diagnostics) four classes of plan defects:
+//
+//   - deadlock: a cycle in the cross-TB wait-for graph induced by
+//     send/recv rendezvous, intra-TB program order, data-dependency
+//     semaphores and link-window serialization (waitfor.go);
+//   - chunk hazards: write-write or read-write races on buffer slots
+//     that are unordered under the plan's happens-before relation
+//     (hazard.go);
+//   - infeasibility: communication links whose assigned traffic makes
+//     the plan's epoch structure unachievable under the α+c·β cost
+//     model, and thread-block over-subscription beyond the occupancy
+//     the topology supports (feasible.go);
+//   - dead or unreachable primitives: transfers whose delivered data
+//     can never reach a location the collective's postcondition
+//     obligates, cross-checked against the symbolic contribution sets
+//     of internal/verify (deadcode.go).
+//
+// The same discipline SCCL and GC3 apply to collective programs before
+// they touch hardware, applied to ResCCL's compiled plans: analysis
+// runs in milliseconds, so it gates every compile (internal/backend)
+// and every replan (internal/rt) rather than waiting for a simulation
+// or a concurrent execution to fail.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/resccl/resccl/internal/analyze/invariant"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, ordered from most to least severe.
+const (
+	// SevError marks a defect that makes the plan unsafe to execute
+	// (deadlock, hazard, broken invariant). Report.Err surfaces it.
+	SevError Severity = iota
+	// SevWarn marks a defect that wastes resources or indicates a
+	// degenerate plan but cannot corrupt a run.
+	SevWarn
+	// SevInfo marks analysis notes (skipped checks, coverage caveats).
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warn"
+	case SevInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Checks selects which analysis passes run, as a bitmask.
+type Checks uint
+
+// Individual analysis passes.
+const (
+	// CheckStructure verifies the kernel's slot tables: every task has
+	// exactly one send and one recv primitive, on the right ranks and
+	// TBs, and no slot aliases a task it does not belong to.
+	CheckStructure Checks = 1 << iota
+	// CheckDeadlock builds the cross-TB wait-for graph and reports any
+	// cycle with the full primitive path.
+	CheckDeadlock
+	// CheckHazards reports buffer-slot races unordered under
+	// happens-before.
+	CheckHazards
+	// CheckFeasibility reports links whose α+c·β lower bound exceeds the
+	// plan's critical-path estimate and TB over-subscription.
+	CheckFeasibility
+	// CheckDeadCode reports primitives whose data cannot reach any
+	// postcondition-obligated location.
+	CheckDeadCode
+	// CheckCoverage replays the plan through the symbolic verifier
+	// (internal/verify) and reports postcondition gaps.
+	CheckCoverage
+	// CheckPipelineInvariants re-runs the scheduler's pipeline
+	// invariants (internal/analyze/invariant) on the kernel's echoed
+	// schedule.
+	CheckPipelineInvariants
+)
+
+// CheckQuick is the always-on compile-time subset: linear-time passes
+// that catch every defect class able to corrupt or hang a run.
+const CheckQuick = CheckStructure | CheckDeadlock | CheckPipelineInvariants
+
+// CheckAll runs every pass.
+const CheckAll = CheckStructure | CheckDeadlock | CheckHazards |
+	CheckFeasibility | CheckDeadCode | CheckCoverage | CheckPipelineInvariants
+
+// CheckGate is the pre-resume replan gate: everything except the
+// postcondition passes, which judge healthy plans only — repair plans
+// carry degraded postconditions that internal/rt proves separately.
+const CheckGate = CheckStructure | CheckDeadlock | CheckHazards |
+	CheckFeasibility | CheckPipelineInvariants
+
+// Options tune an analysis.
+type Options struct {
+	// Checks selects passes; zero means CheckAll.
+	Checks Checks
+	// ChunkBytes is the chunk size assumed by the feasibility cost
+	// model (default 1 MiB, matching core.Options).
+	ChunkBytes int64
+	// WindowMB is the micro-batch count assumed by the feasibility cost
+	// model (default 8, matching core.Options).
+	WindowMB int
+	// AnalysisMB is the number of micro-batches the wait-for graph is
+	// unrolled for (default 2: enough to expose cross-micro-batch
+	// coupling of task-major loops without scaling the graph by the
+	// real micro-batch count).
+	AnalysisMB int
+	// MaxDiagsPerClass bounds how many diagnostics one pass reports
+	// (default 16); the report notes elided counts.
+	MaxDiagsPerClass int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Checks == 0 {
+		o.Checks = CheckAll
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 1 << 20
+	}
+	if o.WindowMB <= 0 {
+		o.WindowMB = 8
+	}
+	if o.AnalysisMB <= 0 {
+		o.AnalysisMB = 2
+	}
+	if o.MaxDiagsPerClass <= 0 {
+		o.MaxDiagsPerClass = 16
+	}
+	return o
+}
+
+// Diag is one typed diagnostic.
+type Diag struct {
+	// Code names the lint ("deadlock", "hazard-ww", "hazard-rw",
+	// "link-infeasible", "tb-oversub", "dead-primitive", "coverage",
+	// "structure", plus the invariant codes of internal/analyze/invariant).
+	Code     string
+	Severity Severity
+	// Message is the stable human-readable description.
+	Message string
+	// Tasks lists the tasks involved, primary first (empty for
+	// plan-wide diagnostics).
+	Tasks []ir.TaskID
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Severity, d.Code, d.Message)
+}
+
+// Report is the outcome of one analysis: the plan identity and every
+// diagnostic, sorted deterministically (severity, code, tasks,
+// message).
+type Report struct {
+	Kernel string
+	Checks Checks
+	Diags  []Diag
+}
+
+// Counts returns the number of diagnostics per severity.
+func (r *Report) Counts() (errs, warns, infos int) {
+	for _, d := range r.Diags {
+		switch d.Severity {
+		case SevError:
+			errs++
+		case SevWarn:
+			warns++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Clean reports whether the analysis produced no error diagnostics.
+func (r *Report) Clean() bool {
+	errs, _, _ := r.Counts()
+	return errs == 0
+}
+
+// Err returns an error describing the first error-severity diagnostic,
+// nil when the plan is clean.
+func (r *Report) Err() error {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			errs, _, _ := r.Counts()
+			if errs > 1 {
+				return fmt.Errorf("analyze: plan %q: %s: %s (and %d more errors)",
+					r.Kernel, d.Code, d.Message, errs-1)
+			}
+			return fmt.Errorf("analyze: plan %q: %s: %s", r.Kernel, d.Code, d.Message)
+		}
+	}
+	return nil
+}
+
+// String renders the report in the stable format golden tests pin: one
+// header line, then one line per diagnostic.
+func (r *Report) String() string {
+	var b strings.Builder
+	errs, warns, infos := r.Counts()
+	fmt.Fprintf(&b, "plan %s: %d error(s), %d warning(s), %d note(s)\n",
+		r.Kernel, errs, warns, infos)
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+func (r *Report) add(d Diag) { r.Diags = append(r.Diags, d) }
+
+// addLimited appends up to max diagnostics from ds under one code and
+// notes how many were elided.
+func (r *Report) addLimited(ds []Diag, max int) {
+	if len(ds) <= max {
+		r.Diags = append(r.Diags, ds...)
+		return
+	}
+	r.Diags = append(r.Diags, ds[:max]...)
+	r.add(Diag{
+		Code:     ds[0].Code,
+		Severity: SevInfo,
+		Message:  fmt.Sprintf("%d further %s diagnostic(s) elided", len(ds)-max, ds[0].Code),
+	})
+}
+
+func (r *Report) finalize() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		at, bt := ir.TaskID(-1), ir.TaskID(-1)
+		if len(a.Tasks) > 0 {
+			at = a.Tasks[0]
+		}
+		if len(b.Tasks) > 0 {
+			bt = b.Tasks[0]
+		}
+		if at != bt {
+			return at < bt
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Plan statically analyzes a compiled plan. It never executes the
+// kernel and is safe to call on arbitrarily corrupt plans (fuzzed
+// mutants included): defects become diagnostics, not panics. Only a nil
+// kernel or graph is an error.
+func Plan(k *kernel.Kernel, opts Options) (*Report, error) {
+	if k == nil || k.Graph == nil {
+		return nil, fmt.Errorf("analyze: nil kernel or graph")
+	}
+	opts = opts.withDefaults()
+	r := &Report{Kernel: k.Name, Checks: opts.Checks}
+	v := newPlanView(k)
+
+	structureOK := true
+	if opts.Checks&CheckStructure != 0 {
+		ds := checkStructure(v)
+		for _, d := range ds {
+			if d.Severity == SevError {
+				structureOK = false
+				break
+			}
+		}
+		r.addLimited(ds, opts.MaxDiagsPerClass)
+	}
+	if opts.Checks&CheckPipelineInvariants != 0 {
+		if subs := v.subTasks(); subs != nil {
+			var ds []Diag
+			for _, f := range invariant.CheckPipeline(v.g, subs, v.k.TaskPos) {
+				ds = append(ds, Diag{Code: f.Code, Severity: SevError, Message: f.Message, Tasks: f.Tasks})
+			}
+			r.addLimited(ds, opts.MaxDiagsPerClass)
+		}
+	}
+
+	deadlockFree := true
+	if opts.Checks&CheckDeadlock != 0 {
+		ds, free := checkDeadlock(v, opts)
+		deadlockFree = free
+		r.addLimited(ds, opts.MaxDiagsPerClass)
+	}
+	if opts.Checks&CheckHazards != 0 {
+		if deadlockFree && structureOK {
+			r.addLimited(checkHazards(v, opts), opts.MaxDiagsPerClass)
+		} else {
+			r.add(Diag{Code: "hazard", Severity: SevInfo,
+				Message: "hazard analysis skipped: plan has structural or deadlock errors"})
+		}
+	}
+	if opts.Checks&CheckFeasibility != 0 {
+		r.addLimited(checkFeasibility(v, opts), opts.MaxDiagsPerClass)
+	}
+	if opts.Checks&CheckDeadCode != 0 {
+		r.addLimited(checkDeadCode(v, opts), opts.MaxDiagsPerClass)
+	}
+	if opts.Checks&CheckCoverage != 0 {
+		r.addLimited(checkCoverage(v), opts.MaxDiagsPerClass)
+	}
+	r.finalize()
+	return r, nil
+}

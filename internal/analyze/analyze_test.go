@@ -1,0 +1,330 @@
+package analyze_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/resccl/resccl/internal/analyze"
+	"github.com/resccl/resccl/internal/core"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compile builds a registered expert algorithm into a kernel on the
+// given shape.
+func compile(t testing.TB, name string, nodes, gpus int) *kernel.Kernel {
+	t.Helper()
+	b, ok := expert.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown algorithm %q", name)
+	}
+	params := []int{nodes * gpus}
+	if b.NParams == 2 {
+		params = []int{nodes, gpus}
+	}
+	algo, err := expert.Build(name, params...)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	c, err := core.Compile(algo, topo.New(nodes, gpus, topo.A100()), core.Options{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return c.Kernel
+}
+
+// TestRegisteredPlansClean proves the analyzer accepts every plan the
+// compiler produces: the full check suite reports zero errors across
+// the whole registry on a 2×4 shape.
+func TestRegisteredPlansClean(t *testing.T) {
+	for _, b := range expert.Registry() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			k := compile(t, b.Name, 2, 4)
+			r, err := analyze.Plan(k, analyze.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Clean() {
+				t.Fatalf("analyzer rejects a valid plan:\n%s", r)
+			}
+			if err := r.Err(); err != nil {
+				t.Fatalf("Err() on clean report: %v", err)
+			}
+		})
+	}
+}
+
+// mutate applies a named corruption to a fresh copy of the kernel's TB
+// programs and returns the mutant. Mutations mirror the fuzz corpus.
+func cloneKernel(k *kernel.Kernel) *kernel.Kernel {
+	out := *k
+	out.TBs = make([]*kernel.TBProgram, len(k.TBs))
+	for i, tb := range k.TBs {
+		cp := *tb
+		cp.Slots = append([]ir.Primitive(nil), tb.Slots...)
+		out.TBs[i] = &cp
+	}
+	out.SendTB = append([]int(nil), k.SendTB...)
+	out.RecvTB = append([]int(nil), k.RecvTB...)
+	out.LinkPreds = append([][]ir.TaskID(nil), k.LinkPreds...)
+	out.TaskSub = append([]int(nil), k.TaskSub...)
+	out.TaskPos = append([]int(nil), k.TaskPos...)
+	return &out
+}
+
+// seedDeadlock swaps the first two slots of one TB, breaking the
+// global-order subsequence property the rendezvous graph relies on.
+func seedDeadlock(k *kernel.Kernel) *kernel.Kernel {
+	m := cloneKernel(k)
+	for _, tb := range m.TBs {
+		if len(tb.Slots) >= 2 {
+			tb.Slots[0], tb.Slots[1] = tb.Slots[1], tb.Slots[0]
+			return m
+		}
+	}
+	return m
+}
+
+func TestSeededDeadlockFlagged(t *testing.T) {
+	k := compile(t, "ring-allreduce", 1, 8)
+	m := seedDeadlock(k)
+	r, err := analyze.Plan(m, analyze.Options{Checks: analyze.CheckDeadlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean() {
+		t.Fatalf("seeded deadlock not flagged:\n%s", r)
+	}
+	found := false
+	for _, d := range r.Diags {
+		if d.Code == "deadlock" && d.Severity == analyze.SevError {
+			found = true
+			if !strings.Contains(d.Message, "→") && !strings.Contains(d.Message, "stranded") {
+				t.Errorf("deadlock diagnostic lacks a primitive path: %s", d.Message)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no deadlock diagnostic in:\n%s", r)
+	}
+}
+
+// seedHazard drops one read-after-write data dependency from the graph:
+// the kernel's rendezvous/program-order edges no longer cover the pair,
+// so the producer's write and the consumer's read race. This models the
+// exact failure class the pass exists for — a scheduler that lost a
+// dependency the DSL semantics require.
+func seedHazard(t testing.TB, k *kernel.Kernel) *kernel.Kernel {
+	t.Helper()
+	m := cloneKernel(k)
+	g := *k.Graph
+	g.Deps = append([][]ir.TaskID(nil), k.Graph.Deps...)
+	g.Dependents = append([][]ir.TaskID(nil), k.Graph.Dependents...)
+	m.Graph = &g
+	for ti := range g.Tasks {
+		task := g.Tasks[ti]
+		for di, d := range g.Deps[ti] {
+			dep := g.Tasks[d]
+			// A true RAW edge: dep delivers the very location task reads,
+			// and the two primitives live on different TBs so nothing else
+			// orders them.
+			if dep.Dst != task.Src || dep.Chunk != task.Chunk {
+				continue
+			}
+			if k.SendTB[ti] == k.RecvTB[d] {
+				continue
+			}
+			deps := append([]ir.TaskID(nil), g.Deps[ti]...)
+			g.Deps[ti] = append(deps[:di], deps[di+1:]...)
+			var dependents []ir.TaskID
+			for _, x := range g.Dependents[d] {
+				if x != ir.TaskID(ti) {
+					dependents = append(dependents, x)
+				}
+			}
+			g.Dependents[d] = dependents
+			return m
+		}
+	}
+	t.Fatal("no droppable RAW dependency found")
+	return m
+}
+
+func TestSeededHazardFlagged(t *testing.T) {
+	k := compile(t, "ring-allgather", 1, 8)
+	m := seedHazard(t, k)
+	r, err := analyze.Plan(m, analyze.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean() {
+		t.Fatalf("seeded hazard not flagged:\n%s", r)
+	}
+	found := false
+	for _, d := range r.Diags {
+		if strings.HasPrefix(d.Code, "hazard-") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no hazard diagnostic in:\n%s", r)
+	}
+}
+
+func TestNilKernelRejected(t *testing.T) {
+	if _, err := analyze.Plan(nil, analyze.Options{}); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+// golden compares the report against testdata/<name>.golden,
+// rewriting under -update (the trace golden convention).
+func golden(t *testing.T, name string, r *analyze.Report) {
+	t.Helper()
+	got := r.String()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	base := compile(t, "ring-allreduce", 1, 4)
+	cases := []struct {
+		name   string
+		kernel *kernel.Kernel
+		checks analyze.Checks
+	}{
+		{"clean", base, 0},
+		{"deadlocked", seedDeadlock(base), analyze.CheckDeadlock},
+		{"aliased-slot", seedAlias(base), analyze.CheckStructure},
+		{"oversub-link", seedOversub(base), analyze.CheckPipelineInvariants | analyze.CheckFeasibility},
+		{"dead-primitive", deadPrimitivePlan(t), analyze.CheckDeadCode | analyze.CheckCoverage},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := analyze.Plan(tc.kernel, analyze.Options{Checks: tc.checks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden(t, tc.name, r)
+		})
+	}
+}
+
+// seedAlias rewrites one slot's embedded transfer so it disagrees with
+// the task table — the classic aliased-slot corruption.
+func seedAlias(k *kernel.Kernel) *kernel.Kernel {
+	m := cloneKernel(k)
+	for _, tb := range m.TBs {
+		for s, prim := range tb.Slots {
+			p := prim
+			p.Task.Chunk = (p.Task.Chunk + 1) % ir.ChunkID(m.Graph.Algo.NChunks)
+			tb.Slots[s] = p
+			_ = s
+			return m
+		}
+	}
+	return m
+}
+
+// seedOversub collapses the schedule echo into one sub-pipeline so
+// every link's saturation window is violated at once.
+func seedOversub(k *kernel.Kernel) *kernel.Kernel {
+	m := cloneKernel(k)
+	for t := range m.TaskSub {
+		m.TaskSub[t] = 0
+	}
+	return m
+}
+
+// deadPrimitivePlan compiles a hand-written ReduceScatter whose extra
+// transfer delivers a chunk to a rank that does not own it and feeds
+// nothing downstream.
+func deadPrimitivePlan(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	algo := &ir.Algorithm{
+		Name: "dead-rs", Op: ir.OpReduceScatter, NRanks: 4, NChunks: 4,
+		Transfers: []ir.Transfer{
+			// Chunk 0 reduced onto its owner, rank 0.
+			{Src: 1, Dst: 0, Step: 0, Chunk: 0, Type: ir.CommRecvReduceCopy},
+			{Src: 2, Dst: 0, Step: 1, Chunk: 0, Type: ir.CommRecvReduceCopy},
+			{Src: 3, Dst: 0, Step: 2, Chunk: 0, Type: ir.CommRecvReduceCopy},
+			// Chunk 1 onto rank 1, and so on.
+			{Src: 0, Dst: 1, Step: 0, Chunk: 1, Type: ir.CommRecvReduceCopy},
+			{Src: 2, Dst: 1, Step: 1, Chunk: 1, Type: ir.CommRecvReduceCopy},
+			{Src: 3, Dst: 1, Step: 2, Chunk: 1, Type: ir.CommRecvReduceCopy},
+			{Src: 0, Dst: 2, Step: 0, Chunk: 2, Type: ir.CommRecvReduceCopy},
+			{Src: 1, Dst: 2, Step: 1, Chunk: 2, Type: ir.CommRecvReduceCopy},
+			{Src: 3, Dst: 2, Step: 2, Chunk: 2, Type: ir.CommRecvReduceCopy},
+			{Src: 0, Dst: 3, Step: 0, Chunk: 3, Type: ir.CommRecvReduceCopy},
+			{Src: 1, Dst: 3, Step: 1, Chunk: 3, Type: ir.CommRecvReduceCopy},
+			{Src: 2, Dst: 3, Step: 2, Chunk: 3, Type: ir.CommRecvReduceCopy},
+			// Dead: chunk 0 also shipped to rank 2, which never needs it.
+			{Src: 0, Dst: 2, Step: 3, Chunk: 0, Type: ir.CommRecv},
+		},
+	}
+	c, err := core.Compile(algo, topo.New(1, 4, topo.A100()), core.Options{})
+	if err != nil {
+		t.Fatalf("compile dead-rs: %v", err)
+	}
+	return c.Kernel
+}
+
+// BenchmarkPlanLargest analyzes the heaviest registered plan; the
+// acceptance budget is 50ms per full analysis.
+func BenchmarkPlanLargest(b *testing.B) {
+	largest, most := "", 0
+	for _, bl := range expert.Registry() {
+		k := compile(b, bl.Name, 2, 8)
+		if n := k.TotalSlots(); n > most {
+			largest, most = bl.Name, n
+		}
+	}
+	k := compile(b, largest, 2, 8)
+	b.Logf("largest plan: %s, %d slots", largest, most)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := analyze.Plan(k, analyze.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Clean() {
+			b.Fatalf("unexpected diagnostics:\n%s", r)
+		}
+	}
+	b.StopTimer()
+	if per := b.Elapsed() / time.Duration(b.N); per > 50*time.Millisecond {
+		b.Fatalf("analysis took %v per plan, budget is 50ms", per)
+	}
+}
+
+// ExampleReport_String shows the stable report format.
+func ExampleReport_String() {
+	r := &analyze.Report{Kernel: "demo"}
+	fmt.Print(r.String())
+	// Output: plan demo: 0 error(s), 0 warning(s), 0 note(s)
+}

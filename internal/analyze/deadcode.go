@@ -1,0 +1,185 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/verify"
+)
+
+// The liveness pass finds primitives the collective does not need. A
+// task is LIVE when its delivery can still matter to the operator's
+// postcondition:
+//
+//   - seed: every task whose destination location the operator
+//     obligates (AllReduce/AllGather/Broadcast obligate every (rank,
+//     chunk); ReduceScatter only the chunk's owner; AllToAll only the
+//     addressed destination);
+//   - closure: everything a live task depends on (the dependency DAG
+//     already encodes which earlier deliveries feed a transfer).
+//
+// The closure over-approximates liveness — a task is only reported
+// when NO chain of dependencies connects it to an obligated location —
+// so every "dead-primitive" diagnostic is a true positive. A second
+// rule catches the shadowed-copy case reachability cannot: a plain
+// recv whose destination is overwritten later with no intervening
+// reader delivered a value nobody observed.
+//
+// Process-group algorithms (Group) and repair plans (Initial) judge
+// correctness against an embedded or degraded postcondition; the pass
+// steps aside rather than guess it.
+func checkDeadCode(v *planView, opts Options) []Diag {
+	g := v.g
+	algo := g.Algo
+	if algo.Group != nil || algo.Initial != nil {
+		return []Diag{{Code: "dead-primitive", Severity: SevInfo,
+			Message: "liveness skipped: plan has a group or degraded precondition"}}
+	}
+
+	obligated := func(r ir.Rank, c ir.ChunkID) bool {
+		switch algo.Op {
+		case ir.OpReduceScatter:
+			return r == ir.Rank(int(c)%algo.NRanks)
+		case ir.OpAllToAll:
+			return r == ir.Rank(int(c)%algo.NRanks)
+		default: // AllReduce, AllGather, Broadcast: everyone holds everything
+			return true
+		}
+	}
+
+	live := make([]bool, len(g.Tasks))
+	var stack []ir.TaskID
+	for t, task := range g.Tasks {
+		if obligated(task.Dst, task.Chunk) {
+			live[t] = true
+			stack = append(stack, ir.TaskID(t))
+		}
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, d := range g.Deps[t] {
+			if int(d) >= 0 && int(d) < len(live) && !live[d] {
+				live[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+	var ds []Diag
+	for t := range g.Tasks {
+		if !live[t] {
+			ds = append(ds, Diag{Code: "dead-primitive", Severity: SevWarn,
+				Message: fmt.Sprintf("%s: no dependency chain reaches a postcondition-obligated location",
+					v.describeTask(ir.TaskID(t))),
+				Tasks: []ir.TaskID{ir.TaskID(t)}})
+		}
+	}
+
+	// Shadowed copies, judged in pipeline order when the kernel echoes
+	// one (fall back to step order otherwise).
+	pos := func(t ir.TaskID) int {
+		if len(v.k.TaskPos) == len(g.Tasks) && v.k.TaskPos[t] >= 0 {
+			return v.k.TaskPos[t]
+		}
+		return int(g.Tasks[t].Step)*len(g.Tasks) + int(t)
+	}
+	type loc struct {
+		r ir.Rank
+		c ir.ChunkID
+	}
+	byLoc := make(map[loc][]ir.TaskID)
+	for t, task := range g.Tasks {
+		byLoc[loc{task.Dst, task.Chunk}] = append(byLoc[loc{task.Dst, task.Chunk}], ir.TaskID(t))
+	}
+	var locs []loc
+	for l := range byLoc {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool {
+		if locs[i].r != locs[j].r {
+			return locs[i].r < locs[j].r
+		}
+		return locs[i].c < locs[j].c
+	})
+	for _, l := range locs {
+		writers := byLoc[l]
+		sort.Slice(writers, func(i, j int) bool { return pos(writers[i]) < pos(writers[j]) })
+		for i, u := range writers {
+			if g.Tasks[u].Type != ir.CommRecv || i == len(writers)-1 {
+				continue // reductions merge; the final writer survives
+			}
+			w := writers[i+1]
+			if g.Tasks[w].Type == ir.CommRecvReduceCopy {
+				continue // the overwriter merges u's value into its own
+			}
+			readBetween := false
+			for t, task := range g.Tasks {
+				if task.Src == l.r && task.Chunk == l.c &&
+					pos(ir.TaskID(t)) > pos(u) && pos(ir.TaskID(t)) < pos(w) {
+					readBetween = true
+					break
+				}
+			}
+			if !readBetween {
+				ds = append(ds, Diag{Code: "dead-primitive", Severity: SevWarn,
+					Message: fmt.Sprintf("%s: delivered value is overwritten by %s with no reader in between",
+						v.describeTask(u), v.describeTask(w)),
+					Tasks: []ir.TaskID{u, w}})
+			}
+		}
+	}
+	return ds
+}
+
+// checkCoverage cross-checks the plan against the symbolic verifier:
+// it replays, in dependency order, exactly the transfers the KERNEL
+// will execute (tasks whose send and recv primitives are both present
+// and unaliased — what a mutant dropped, the replay drops too) and
+// proves the operator's healthy postcondition over the resulting
+// contribution sets. Any gap the runtime would produce shows up here
+// without running anything.
+func checkCoverage(v *planView) []Diag {
+	g := v.g
+	algo := g.Algo
+	if algo.Group != nil {
+		return []Diag{{Code: "coverage", Severity: SevInfo,
+			Message: "postcondition coverage skipped: plan targets a process group"}}
+	}
+	if algo.NRanks > verify.MaxRanks {
+		return []Diag{{Code: "coverage", Severity: SevInfo,
+			Message: fmt.Sprintf("postcondition coverage skipped: %d ranks exceed the verifier's %d-rank bound",
+				algo.NRanks, verify.MaxRanks)}}
+	}
+	executes := func(t ir.TaskID) bool {
+		if len(v.sendOcc[t]) == 0 || len(v.recvOcc[t]) == 0 {
+			return false
+		}
+		// An aliased slot transfers different data than the task table
+		// claims; replay its payload, not the table's.
+		return true
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return []Diag{{Code: "coverage", Severity: SevError,
+			Message: fmt.Sprintf("dependency graph has no topological order: %v", err)}}
+	}
+	var trace []ir.Transfer
+	for _, t := range order {
+		if int(t) < 0 || int(t) >= len(g.Tasks) || !executes(t) {
+			continue
+		}
+		o := v.recvOcc[t][0]
+		trace = append(trace, v.k.TBs[o.tb].Slots[o.slot].Task.Transfer)
+	}
+	h, err := verify.Replay(algo.Op, algo.NRanks, algo.NChunks, algo.Initial, trace)
+	if err != nil {
+		return []Diag{{Code: "coverage", Severity: SevError,
+			Message: fmt.Sprintf("symbolic replay rejects the plan: %v", err)}}
+	}
+	if err := h.Postcondition(verify.Expect{}); err != nil {
+		return []Diag{{Code: "coverage", Severity: SevError,
+			Message: fmt.Sprintf("postcondition not covered: %v", err)}}
+	}
+	return nil
+}

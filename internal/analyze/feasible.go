@@ -1,0 +1,171 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// The feasibility pass bounds the plan against the α+c·β cost model
+// (Eq. 3-5) without simulating it:
+//
+//   - per-link lower bound: all traffic assigned to link l must cross
+//     it serially at full capacity, so no schedule can beat
+//     LB(l) = α_min(l) + Σ_t n·chunk/Capacity(l). The pass re-derives
+//     the plan's own critical-path estimate (the §4.4 list schedule
+//     over the kernel's echoed pipeline order — the same recurrence as
+//     talloc.EstimateWindows, reconstructed from the kernel alone) and
+//     flags links whose floor exceeds it: the plan's epoch structure
+//     promises a completion its own wiring cannot deliver.
+//
+//   - TB over-subscription: a rank needs at most one sending and one
+//     receiving TB per distinct peer (that is the paper's occupancy
+//     point — state-based allocation shares by endpoint, connection-
+//     based splits by connection, both bounded by 2·peers). More TBs
+//     than that burn SMs without adding a single concurrent channel.
+//
+// Both lints are warnings: an infeasible plan still runs correctly,
+// just slower than its schedule claims, so gates built on Report.Err
+// never reject over them.
+func checkFeasibility(v *planView, opts Options) []Diag {
+	var ds []Diag
+	g := v.g
+
+	makespan, ok := estimateMakespan(v, opts)
+	if !ok {
+		ds = append(ds, Diag{Code: "link-oversub", Severity: SevInfo,
+			Message: "feasibility bounds skipped: kernel carries no pipeline order"})
+	} else {
+		// Deterministic link order for stable reports.
+		links := make([]topo.LinkID, 0, len(g.LinkTasks))
+		for l := range g.LinkTasks {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+		n := float64(opts.WindowMB)
+		for _, l := range links {
+			tasks := g.LinkTasks[l]
+			if len(tasks) == 0 {
+				continue
+			}
+			capac := g.Topo.Capacity(l)
+			if capac <= 0 {
+				continue
+			}
+			alpha := g.Paths[tasks[0]].Alpha.Seconds()
+			for _, t := range tasks[1:] {
+				if a := g.Paths[t].Alpha.Seconds(); a < alpha {
+					alpha = a
+				}
+			}
+			lb := alpha + float64(len(tasks))*n*float64(opts.ChunkBytes)/capac
+			// 0.1% slack absorbs float accumulation-order noise.
+			if lb > makespan*1.001 {
+				ds = append(ds, Diag{Code: "link-oversub", Severity: SevWarn,
+					Message: fmt.Sprintf(
+						"link %s: serial α+c·β floor %.3fms for %d tasks exceeds the plan's critical path %.3fms",
+						g.Topo.DescribeResource(l), lb*1e3, len(tasks), makespan*1e3)})
+			}
+		}
+	}
+
+	// TB occupancy per rank vs. the 2-TBs-per-peer bound.
+	peers := make(map[ir.Rank]map[ir.Rank]bool)
+	for _, task := range g.Tasks {
+		if peers[task.Src] == nil {
+			peers[task.Src] = make(map[ir.Rank]bool)
+		}
+		if peers[task.Dst] == nil {
+			peers[task.Dst] = make(map[ir.Rank]bool)
+		}
+		peers[task.Src][task.Dst] = true
+		peers[task.Dst][task.Src] = true
+	}
+	tbs := make(map[ir.Rank]int)
+	for _, tb := range v.k.TBs {
+		tbs[tb.Rank]++
+	}
+	ranks := make([]ir.Rank, 0, len(tbs))
+	for r := range tbs {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		limit := 2 * len(peers[r])
+		if limit == 0 {
+			limit = 1
+		}
+		if tbs[r] > limit {
+			ds = append(ds, Diag{Code: "tb-oversub", Severity: SevWarn,
+				Message: fmt.Sprintf(
+					"rank %d runs %d thread blocks for %d peer(s); %d suffice (one send + one recv per peer)",
+					r, tbs[r], len(peers[r]), limit)})
+		}
+	}
+	return ds
+}
+
+// estimateMakespan replays the §4.4 window recurrence from the kernel's
+// echoed pipeline order. ok is false when the kernel carries no order
+// (baseline kernels) or the tables are corrupt.
+func estimateMakespan(v *planView, opts Options) (float64, bool) {
+	g, k := v.g, v.k
+	if len(k.TaskPos) != len(g.Tasks) || len(g.Tasks) == 0 {
+		return 0, false
+	}
+	order := make([]ir.TaskID, len(g.Tasks))
+	for t := range order {
+		order[t] = ir.TaskID(t)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return k.TaskPos[order[i]] < k.TaskPos[order[j]]
+	})
+	n := float64(opts.WindowMB)
+	start := make([]float64, len(g.Tasks))
+	finish := make([]float64, len(g.Tasks))
+	perInst := make([]float64, len(g.Tasks))
+	linkHist := make(map[topo.LinkID][]ir.TaskID)
+	makespan := 0.0
+	for _, t := range order {
+		path := g.Paths[t]
+		per := path.Alpha.Seconds() + float64(opts.ChunkBytes)/path.TBCap
+		perInst[t] = per
+		s, f := 0.0, 0.0
+		for _, d := range g.Deps[t] {
+			if int(d) < 0 || int(d) >= len(g.Tasks) {
+				continue
+			}
+			if x := start[d] + perInst[d]; x > s {
+				s = x
+			}
+			if x := finish[d] + per; x > f {
+				f = x
+			}
+		}
+		for _, l := range g.Links[t] {
+			hist := linkHist[l]
+			win := g.LinkWindows[l]
+			if win < 1 {
+				win = 1
+			}
+			if len(hist) >= win {
+				if e := finish[hist[len(hist)-win]]; e > s {
+					s = e
+				}
+			}
+		}
+		if x := s + n*per; x > f {
+			f = x
+		}
+		start[t], finish[t] = s, f
+		if f > makespan {
+			makespan = f
+		}
+		for _, l := range g.Links[t] {
+			linkHist[l] = append(linkHist[l], t)
+		}
+	}
+	return makespan, true
+}

@@ -1,0 +1,160 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// The hazard pass asks: can two primitive invocations touch the same
+// buffer location unordered? The happens-before relation of the runtime
+// is exactly the inverse of the wait-for graph — if A waits on B, then
+// B happens before A, and those semaphore/rendezvous/program-order
+// edges are the ONLY ordering the runtime enforces (buffer mutexes
+// prevent torn reads, not races). So the pass reuses the deadlock
+// pass's graph: it topologically sorts the nodes, accumulates ancestor
+// bitsets, and flags any same-location access pair (at least one a
+// write, within one micro-batch — each micro-batch owns a disjoint
+// buffer) where neither node is an ancestor of the other.
+//
+// The precondition is an acyclic graph with no stranded invocations;
+// Plan() skips this pass otherwise, because a deadlocked plan has no
+// meaningful happens-before order to judge.
+
+// access is one buffer-location touch by a wait-for node.
+type access struct {
+	node  int32
+	write bool
+}
+
+// locKey identifies a buffer location at one micro-batch.
+type locKey struct {
+	rank  ir.Rank
+	chunk ir.ChunkID
+	mb    int
+}
+
+func checkHazards(v *planView, opts Options) []Diag {
+	w := buildWaitFor(v, opts.AnalysisMB)
+	n := len(w.nodes)
+
+	// Kahn topological order over the waits-for edges, dependencies
+	// first: node A waiting on B means B must come earlier.
+	indeg := make([]int32, n)
+	for i := 0; i < n; i++ {
+		for range w.out[i] {
+			indeg[i]++
+		}
+	}
+	rev := make([][]int32, n) // rev[b] = nodes that wait on b
+	for i := 0; i < n; i++ {
+		for _, b := range w.out[i] {
+			rev[b] = append(rev[b], int32(i))
+		}
+	}
+	order := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			order = append(order, int32(i))
+		}
+	}
+	for qi := 0; qi < len(order); qi++ {
+		b := order[qi]
+		for _, a := range rev[b] {
+			if indeg[a]--; indeg[a] == 0 {
+				order = append(order, a)
+			}
+		}
+	}
+	if len(order) < n {
+		// Cycle slipped through (caller skipped the deadlock pass):
+		// happens-before is undefined, so report nothing rather than lie.
+		return []Diag{{Code: "hazard", Severity: SevInfo,
+			Message: "hazard analysis skipped: wait-for graph is cyclic"}}
+	}
+
+	// Ancestor bitsets in topological order: anc(a) = ⋃ anc(b) ∪ {b}
+	// over all b that a waits on.
+	words := (n + 63) / 64
+	anc := make([]uint64, n*words)
+	for _, a := range order {
+		row := anc[int(a)*words : int(a+1)*words]
+		for _, b := range w.out[a] {
+			brow := anc[int(b)*words : int(b+1)*words]
+			for wi := range row {
+				row[wi] |= brow[wi]
+			}
+			row[b/64] |= 1 << uint(b%64)
+		}
+	}
+	ordered := func(a, b int32) bool {
+		return anc[int(a)*words+int(b/64)]&(1<<uint(b%64)) != 0 ||
+			anc[int(b)*words+int(a/64)]&(1<<uint(a%64)) != 0
+	}
+
+	// Collect accesses: at the rendezvous meeting the send side reads
+	// (Src, Chunk) and the recv side writes (Dst, Chunk) — an rrc also
+	// reads what it merges into, but read+write at one node adds nothing
+	// to the pair analysis.
+	accs := make(map[locKey][]access)
+	for i, node := range w.nodes {
+		if node.task < 0 || node.sendK < 0 || node.recvK < 0 {
+			continue
+		}
+		tr := v.g.Tasks[node.task].Transfer
+		accs[locKey{tr.Src, tr.Chunk, node.sendMB}] = append(
+			accs[locKey{tr.Src, tr.Chunk, node.sendMB}], access{int32(i), false})
+		accs[locKey{tr.Dst, tr.Chunk, node.recvMB}] = append(
+			accs[locKey{tr.Dst, tr.Chunk, node.recvMB}], access{int32(i), true})
+	}
+	keys := make([]locKey, 0, len(accs))
+	for k := range accs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.chunk != b.chunk {
+			return a.chunk < b.chunk
+		}
+		return a.mb < b.mb
+	})
+
+	var ds []Diag
+	seen := make(map[[2]ir.TaskID]bool)
+	for _, key := range keys {
+		if key.mb != 0 {
+			continue // micro-batches are isomorphic; one report per pair
+		}
+		list := accs[key]
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.node == b.node || (!a.write && !b.write) || ordered(a.node, b.node) {
+					continue
+				}
+				ta, tb := w.nodes[a.node].task, w.nodes[b.node].task
+				pair := [2]ir.TaskID{ta, tb}
+				if tb < ta {
+					pair = [2]ir.TaskID{tb, ta}
+				}
+				if seen[pair] {
+					continue
+				}
+				seen[pair] = true
+				kind := "hazard-rw"
+				if a.write && b.write {
+					kind = "hazard-ww"
+				}
+				ds = append(ds, Diag{Code: kind, Severity: SevError,
+					Message: fmt.Sprintf("rank %d chunk %d: %s and %s are unordered under happens-before",
+						key.rank, key.chunk, v.describeTask(pair[0]), v.describeTask(pair[1])),
+					Tasks: []ir.TaskID{pair[0], pair[1]}})
+			}
+		}
+	}
+	return ds
+}

@@ -1,0 +1,317 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// The deadlock pass models internal/rt's execution exactly, then asks a
+// graph question instead of running goroutines.
+//
+// At runtime every TB is a sequential thread; each task owns one
+// unbuffered rendezvous channel; the recv side closes a per-(task,
+// micro-batch) done semaphore that data dependencies (per micro-batch)
+// and link-window predecessors (full drain) block on. An unbuffered
+// channel is a CSP rendezvous, so a matched send/recv invocation pair
+// completes at a single meeting point: the pair is modeled as ONE node
+// whose wait-for edges are the union of both sides' blockers —
+//
+//   - the previous instruction of the send TB and of the recv TB
+//     (program order: a TB cannot reach the meeting before finishing
+//     everything ahead of it);
+//   - for each data dependency d of the task, the rendezvous node that
+//     closes done[d][mb] (each side gated at its own micro-batch);
+//   - for each link predecessor p, the node that closes p's LAST
+//     micro-batch (full drain);
+//   - under MBBarrier, a barrier pseudo-node per micro-batch that in
+//     turn waits on every task's previous micro-batch.
+//
+// The plan can hang iff this graph has a cycle (reported with the full
+// primitive path) or an invocation waits on a completion that no
+// primitive ever signals (reported as a stranded invocation). Analysis
+// unrolls AnalysisMB micro-batches: two suffice to expose every
+// cross-micro-batch coupling the task-major loop can create, because
+// the wait pattern of micro-batch i>1 is isomorphic to i=1.
+
+// wfNode is one node of the wait-for graph: a rendezvous meeting, a
+// lone (unmatched) primitive invocation, or a barrier pseudo-node.
+type wfNode struct {
+	task ir.TaskID // -1 for barrier nodes
+	// sendK/recvK are the TB instruction indices of the two sides;
+	// -1 when that side is missing (unmatched invocation).
+	sendTB, sendK  int
+	recvTB, recvK  int
+	sendMB, recvMB int
+	mb             int // barrier nodes: which micro-batch they release
+}
+
+type wfGraph struct {
+	v     *planView
+	nMB   int
+	nodes []wfNode
+	// out[n] lists the nodes n waits for.
+	out [][]int32
+	// byInstr maps (tb, k) → node index.
+	byInstr [][]int32
+	// doneAt[t*nMB+mb] is the node whose completion closes done[t][mb],
+	// -1 when nothing ever signals it.
+	doneAt []int32
+	// stranded marks nodes with a missing rendezvous side.
+	stranded []bool
+}
+
+// buildWaitFor constructs the graph; it never fails, whatever the
+// kernel's state.
+func buildWaitFor(v *planView, nMB int) *wfGraph {
+	w := &wfGraph{v: v, nMB: nMB}
+	k := v.k
+
+	w.byInstr = make([][]int32, len(k.TBs))
+	for tbi, tb := range k.TBs {
+		w.byInstr[tbi] = make([]int32, tb.NInstr(nMB))
+		for i := range w.byInstr[tbi] {
+			w.byInstr[tbi][i] = -1
+		}
+	}
+
+	// Pair send and recv invocations per task. The channel matches
+	// operations in arrival order; with each side's occurrences visited
+	// in (TB, slot, micro-batch) canonical order, the j-th send
+	// invocation meets the j-th recv invocation. Valid kernels have one
+	// occurrence per side, making the pairing exact (j == micro-batch);
+	// for mutants with duplicated slots it is one admissible arrival
+	// order, which is all a may-deadlock analysis needs.
+	w.doneAt = make([]int32, len(v.g.Tasks)*nMB)
+	for i := range w.doneAt {
+		w.doneAt[i] = -1
+	}
+	type invocation struct {
+		tb, k, mb int
+	}
+	invocationsOf := func(occs []occ) []invocation {
+		var out []invocation
+		for _, o := range occs {
+			tb := k.TBs[o.tb]
+			for ki := 0; ki < tb.NInstr(nMB); ki++ {
+				slot, mb := tb.Instr(ki, nMB)
+				if slot == o.slot {
+					out = append(out, invocation{o.tb, ki, mb})
+				}
+			}
+		}
+		return out
+	}
+	for t := range v.g.Tasks {
+		sends := invocationsOf(v.sendOcc[t])
+		recvs := invocationsOf(v.recvOcc[t])
+		n := len(sends)
+		if len(recvs) > n {
+			n = len(recvs)
+		}
+		for j := 0; j < n; j++ {
+			node := wfNode{task: ir.TaskID(t), sendTB: -1, sendK: -1, recvTB: -1, recvK: -1}
+			if j < len(sends) {
+				node.sendTB, node.sendK, node.sendMB = sends[j].tb, sends[j].k, sends[j].mb
+			}
+			if j < len(recvs) {
+				node.recvTB, node.recvK, node.recvMB = recvs[j].tb, recvs[j].k, recvs[j].mb
+			}
+			idx := int32(len(w.nodes))
+			w.nodes = append(w.nodes, node)
+			w.stranded = append(w.stranded, node.sendK < 0 || node.recvK < 0)
+			if node.sendK >= 0 {
+				w.byInstr[node.sendTB][node.sendK] = idx
+			}
+			if node.recvK >= 0 {
+				w.byInstr[node.recvTB][node.recvK] = idx
+				// The recv side closes done[t][mb] — but only if the
+				// rendezvous actually completes (both sides present).
+				if node.sendK >= 0 && node.recvMB < nMB {
+					w.doneAt[t*nMB+node.recvMB] = idx
+				}
+			}
+		}
+	}
+
+	// Barrier pseudo-nodes for lazy (MBBarrier) kernels: node B(mb)
+	// releases micro-batch mb and waits on every task's mb-1.
+	barrier := make([]int32, nMB)
+	for i := range barrier {
+		barrier[i] = -1
+	}
+	if k.MBBarrier {
+		for mb := 1; mb < nMB; mb++ {
+			idx := int32(len(w.nodes))
+			w.nodes = append(w.nodes, wfNode{task: -1, sendK: -1, recvK: -1, mb: mb})
+			w.stranded = append(w.stranded, false)
+			barrier[mb] = idx
+		}
+	}
+
+	w.out = make([][]int32, len(w.nodes))
+	addEdge := func(from, to int32) {
+		if to >= 0 && to != from {
+			w.out[from] = append(w.out[from], to)
+		}
+	}
+	// gates adds the blockers one side of node n observes before its
+	// channel operation: program order, data deps, link preds, barrier.
+	gates := func(n int32, tb, ki, mb int, t ir.TaskID) {
+		if ki > 0 {
+			addEdge(n, w.byInstr[tb][ki-1])
+		}
+		for _, d := range v.g.Deps[t] {
+			if int(d) < 0 || int(d) >= len(v.g.Tasks) || mb >= nMB {
+				continue
+			}
+			addEdge(n, w.doneAt[int(d)*nMB+mb])
+			if w.doneAt[int(d)*nMB+mb] < 0 {
+				w.stranded[n] = true
+			}
+		}
+		if int(t) < len(k.LinkPreds) {
+			for _, p := range k.LinkPreds[t] {
+				if int(p) < 0 || int(p) >= len(v.g.Tasks) {
+					continue
+				}
+				addEdge(n, w.doneAt[int(p)*nMB+(nMB-1)])
+				if w.doneAt[int(p)*nMB+(nMB-1)] < 0 {
+					w.stranded[n] = true
+				}
+			}
+		}
+		if mb > 0 && mb < nMB && barrier[mb] >= 0 {
+			addEdge(n, barrier[mb])
+		}
+	}
+	for i := range w.nodes {
+		n := &w.nodes[i]
+		if n.task < 0 { // barrier node: waits on every task's mb-1
+			for t := range v.g.Tasks {
+				addEdge(int32(i), w.doneAt[t*nMB+n.mb-1])
+			}
+			continue
+		}
+		if n.sendK >= 0 {
+			gates(int32(i), n.sendTB, n.sendK, n.sendMB, n.task)
+		}
+		if n.recvK >= 0 {
+			gates(int32(i), n.recvTB, n.recvK, n.recvMB, n.task)
+		}
+	}
+	return w
+}
+
+// describeNode renders one wait-for node for a cycle path.
+func (w *wfGraph) describeNode(i int32) string {
+	n := w.nodes[i]
+	if n.task < 0 {
+		return fmt.Sprintf("barrier(mb=%d)", n.mb)
+	}
+	d := w.v.describeTask(n.task)
+	switch {
+	case n.sendK >= 0 && n.recvK >= 0:
+		return fmt.Sprintf("%s send@TB%d/recv@TB%d mb=%d", d,
+			w.v.k.TBs[n.sendTB].ID, w.v.k.TBs[n.recvTB].ID, n.recvMB)
+	case n.sendK >= 0:
+		return fmt.Sprintf("%s send@TB%d mb=%d (no matching recv)", d, w.v.k.TBs[n.sendTB].ID, n.sendMB)
+	default:
+		return fmt.Sprintf("%s recv@TB%d mb=%d (no matching send)", d, w.v.k.TBs[n.recvTB].ID, n.recvMB)
+	}
+}
+
+// checkDeadlock runs the pass; free reports whether the wait-for graph
+// is acyclic with no stranded invocations (the precondition for the
+// happens-before passes).
+func checkDeadlock(v *planView, opts Options) (ds []Diag, free bool) {
+	w := buildWaitFor(v, opts.AnalysisMB)
+	free = true
+
+	// Stranded invocations: a rendezvous side or semaphore nobody ever
+	// signals. The TB hosting it blocks forever.
+	for i, n := range w.nodes {
+		if !w.stranded[i] || n.task < 0 {
+			continue
+		}
+		free = false
+		// One diagnostic per (task, side) suffices; skip later micro-batches.
+		if (n.sendK >= 0 && n.sendMB > 0) || (n.recvK >= 0 && n.recvMB > 0) {
+			continue
+		}
+		ds = append(ds, Diag{Code: "deadlock", Severity: SevError,
+			Message: fmt.Sprintf("stranded invocation: %s blocks its TB forever", w.describeNode(int32(i))),
+			Tasks:   []ir.TaskID{n.task}})
+	}
+
+	// Cycle detection: iterative DFS with three colors; on a back edge,
+	// the grey stack slice from the target onward is the cycle.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, len(w.nodes))
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	onStack := make([]int32, 0, 64)
+	for start := range w.nodes {
+		if color[start] != white {
+			continue
+		}
+		stack = append(stack[:0], frame{int32(start), 0})
+		color[start] = grey
+		onStack = append(onStack[:0], int32(start))
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(w.out[f.node]) {
+				to := w.out[f.node][f.next]
+				f.next++
+				switch color[to] {
+				case white:
+					color[to] = grey
+					stack = append(stack, frame{to, 0})
+					onStack = append(onStack, to)
+				case grey:
+					free = false
+					// Extract the cycle: suffix of onStack from `to`.
+					var cyc []int32
+					for j := len(onStack) - 1; j >= 0; j-- {
+						cyc = append(cyc, onStack[j])
+						if onStack[j] == to {
+							break
+						}
+					}
+					// Reverse into wait order and render the path.
+					var b strings.Builder
+					var tasks []ir.TaskID
+					for j := len(cyc) - 1; j >= 0; j-- {
+						if b.Len() > 0 {
+							b.WriteString(" → ")
+						}
+						b.WriteString(w.describeNode(cyc[j]))
+						if t := w.nodes[cyc[j]].task; t >= 0 {
+							tasks = append(tasks, t)
+						}
+					}
+					b.WriteString(" → (back to start)")
+					ds = append(ds, Diag{Code: "deadlock", Severity: SevError,
+						Message: fmt.Sprintf("wait-for cycle: %s", b.String()),
+						Tasks:   tasks})
+					// One cycle per DFS tree keeps reports readable; the
+					// plan is already condemned.
+					color[to] = black
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				onStack = onStack[:len(onStack)-1]
+			}
+		}
+	}
+	return ds, free
+}

@@ -1,0 +1,147 @@
+// Package analyzers implements the source-level determinism lints that
+// keep the simulator's byte-identical-trace contract from regressing:
+//
+//   - hosttime: no direct time.Now / time.Since / time.Until — the host
+//     clock must be injected so replays and golden traces are stable;
+//   - globalrand: no package-level math/rand functions — randomness
+//     must flow through an explicitly seeded *rand.Rand
+//     (rand.New(rand.NewSource(seed)) is fine);
+//   - mapiter: no `range` over a map — Go randomizes map iteration
+//     order, so any output or scheduling decision derived from it
+//     differs run to run; iterate a sorted key slice instead.
+//
+// The lints apply only to the deterministic packages (internal/sim,
+// internal/sched, internal/obs) and skip test files. A deliberate
+// exception carries a `//resccl:allow <check>` comment on the offending
+// line or the line above it.
+//
+// The package uses only the standard library (go/ast, go/types): it is
+// driven by cmd/resccl-analyzers, a self-contained `go vet -vettool`
+// backend, so the repo needs no external analysis framework.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// deterministicSuffixes lists the package import-path suffixes the
+// determinism contract covers.
+var deterministicSuffixes = []string{
+	"internal/sim",
+	"internal/sched",
+	"internal/obs",
+}
+
+// Deterministic reports whether the import path is under the
+// determinism contract.
+func Deterministic(importPath string) bool {
+	for _, s := range deterministicSuffixes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one lint finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string
+	Message string
+}
+
+// hosttimeFuncs are the time package functions that read the host clock.
+var hosttimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// globalrandAllowed are the math/rand package-level functions that do
+// NOT touch the global source and stay legal.
+var globalrandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// Run applies all determinism lints to one type-checked package and
+// returns the findings sorted by position. Suppressed findings
+// (resccl:allow) are already removed. Test files must be filtered out
+// by the caller (the vet driver lists them separately).
+func Run(fset *token.FileSet, files []*ast.File, info *types.Info) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range files {
+		allowed := allowLines(fset, f)
+		report := func(pos token.Pos, check, msg string) {
+			line := fset.Position(pos).Line
+			if allowed[lineCheck{line, check}] || allowed[lineCheck{line - 1, check}] {
+				return
+			}
+			ds = append(ds, Diagnostic{Pos: pos, Check: check, Message: msg})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkSelector(n, info, report)
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						report(n.Range, "mapiter",
+							"map iteration order is randomized; range over sorted keys instead (deterministic package)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Pos < ds[j].Pos })
+	return ds
+}
+
+// checkSelector flags pkg.Func selections on the time and math/rand
+// packages. Resolution goes through go/types (not import names), so
+// aliased imports cannot hide a call.
+func checkSelector(sel *ast.SelectorExpr, info *types.Info, report func(token.Pos, string, string)) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if hosttimeFuncs[sel.Sel.Name] {
+			report(sel.Pos(), "hosttime",
+				fmt.Sprintf("time.%s reads the host clock; inject the clock instead (deterministic package)", sel.Sel.Name))
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalrandAllowed[sel.Sel.Name] {
+			report(sel.Pos(), "globalrand",
+				fmt.Sprintf("rand.%s uses the shared global source; use an explicitly seeded rand.New(rand.NewSource(...)) (deterministic package)", sel.Sel.Name))
+		}
+	}
+}
+
+type lineCheck struct {
+	line  int
+	check string
+}
+
+// allowLines collects `//resccl:allow <check>` suppressions per line.
+func allowLines(fset *token.FileSet, f *ast.File) map[lineCheck]bool {
+	out := make(map[lineCheck]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "resccl:allow") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, check := range strings.Fields(strings.TrimPrefix(text, "resccl:allow")) {
+				out[lineCheck{line, check}] = true
+			}
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/resccl/resccl/internal/analyze"
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
@@ -48,6 +49,27 @@ type Plan struct {
 	// observability (ResCCL reports its full pipeline; the baseline
 	// backends report a single "compile" stage).
 	Stages []obs.Stage
+	// Vet is the always-on static-analysis verdict (the analyzer's
+	// quick subset: structure, deadlock, pipeline invariants). Plans are
+	// cached by reference, so the verdict rides along with the cached
+	// plan and is never recomputed on a hit.
+	Vet *analyze.Report
+}
+
+// vet runs the compile-time analysis gate on a freshly built plan. A
+// plan that fails the quick subset would hang or corrupt a run, so
+// compilation itself fails; the report is attached either way for
+// callers that inspect warnings.
+func vet(p *Plan) (*Plan, error) {
+	report, err := analyze.Plan(p.Kernel, analyze.Options{Checks: analyze.CheckQuick})
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: vet: %w", p.Backend, err)
+	}
+	p.Vet = report
+	if err := report.Err(); err != nil {
+		return nil, fmt.Errorf("backend %s: compiled plan failed static analysis: %w", p.Backend, err)
+	}
+	return p, nil
 }
 
 // Backend compiles collectives into executable kernels.

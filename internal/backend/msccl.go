@@ -84,7 +84,7 @@ func (m *MSCCL) Compile(req Request) (*Plan, error) {
 	// algorithm level (§2.1): one pass per micro-batch.
 	k.MBBarrier = !stageLevel
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(start)}}
-	return &Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages}, nil
+	return vet(&Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages})
 }
 
 // stageLevelTBs partitions tasks into stage groups (consecutive stages

@@ -157,5 +157,5 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 	}
 	k.MBBarrier = true // algorithm-level (lazy) execution
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(compileStart)}}
-	return &Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages}, nil
+	return vet(&Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages})
 }

@@ -30,7 +30,7 @@ func (r *ResCCL) Compile(req Request) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Backend: r.Name(), Algo: req.Algo, Kernel: c.Kernel, Stages: c.Phases.Stages()}, nil
+	return vet(&Plan{Backend: r.Name(), Algo: req.Algo, Kernel: c.Kernel, Stages: c.Phases.Stages()})
 }
 
 // CompileFull exposes the full compilation artifacts (pipeline,

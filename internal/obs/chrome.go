@@ -193,7 +193,7 @@ func writeLinkCounter(cw *chromeWriter, pid int, link LinkTrack, completion floa
 		deltas[usec(sl.End)]--
 	}
 	times := make([]float64, 0, len(deltas))
-	for t := range deltas {
+	for t := range deltas { //resccl:allow mapiter
 		times = append(times, t)
 	}
 	sort.Float64s(times)

@@ -87,7 +87,7 @@ type Snapshot struct {
 // Names returns the snapshot's counter names in sorted order.
 func (s Snapshot) Names() []string {
 	names := make([]string, 0, len(s.Counters))
-	for n := range s.Counters {
+	for n := range s.Counters { //resccl:allow mapiter
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -102,10 +102,11 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k, v := range m.counters {
+	// Map→map copies: order-independent.
+	for k, v := range m.counters { //resccl:allow mapiter
 		s.Counters[k] = v
 	}
-	for k, v := range m.gauges {
+	for k, v := range m.gauges { //resccl:allow mapiter
 		s.Gauges[k] = v
 	}
 	return s

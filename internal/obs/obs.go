@@ -57,8 +57,10 @@ type Trace struct {
 	timelines []*Timeline
 }
 
-// NewTrace returns an empty trace collector.
-func NewTrace() *Trace { return &Trace{now: time.Now} }
+// NewTrace returns an empty trace collector. The wall clock is the one
+// legitimate host-time source in this package — it is the injectable
+// default that SetClock overrides.
+func NewTrace() *Trace { return &Trace{now: time.Now} } //resccl:allow hosttime
 
 // SetClock replaces the wall-clock source used to timestamp spans. Tests
 // inject a deterministic clock so span output is reproducible.
@@ -75,7 +77,7 @@ func (t *Trace) clock() func() time.Time {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.now == nil {
-		t.now = time.Now
+		t.now = time.Now //resccl:allow hosttime
 	}
 	return t.now
 }

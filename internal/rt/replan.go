@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/resccl/resccl/internal/analyze"
 	"github.com/resccl/resccl/internal/collective"
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/fault"
@@ -177,6 +178,13 @@ func frontierTrace(ex *executor) []ir.Transfer {
 // pipeline on the carved topology. Repair plans are always compiled with
 // the ResCCL pipeline regardless of the original backend: it is the only
 // pipeline that consumes an arbitrary topology.
+//
+// Before the repaired plan is allowed to resume on live buffers it must
+// pass the static analyzer's pre-resume gate: deadlock freedom, hazard
+// freedom and intact pipeline invariants, proven without executing. A
+// replan happens exactly when the system is already degraded — the one
+// moment a hung or racing plan would be catastrophic, and the one plan
+// the offline test matrix never saw.
 func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int) (*kernel.Kernel, error) {
 	g, err := dag.Build(algo, tp)
 	if err != nil {
@@ -188,7 +196,18 @@ func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int) (*kernel.Kern
 	}
 	w := talloc.EstimateWindows(pipe, repairChunkBytes, nMB)
 	alloc := talloc.StateBased(pipe, w)
-	return kernel.Generate(pipe, alloc)
+	k, err := kernel.Generate(pipe, alloc)
+	if err != nil {
+		return nil, err
+	}
+	report, err := analyze.Plan(k, analyze.Options{Checks: analyze.CheckGate})
+	if err != nil {
+		return nil, fmt.Errorf("rt: replan gate: %w", err)
+	}
+	if err := report.Err(); err != nil {
+		return nil, fmt.Errorf("rt: replan gate rejected the repair plan: %w", err)
+	}
+	return k, nil
 }
 
 // replanAndResume performs one plan-level recovery: snapshot, carve,

@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"github.com/resccl/resccl/internal/analyze/invariant"
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/topo"
@@ -349,43 +350,22 @@ func (h *chunkHeap) Pop() any {
 // Validate checks pipeline invariants: every task appears exactly once;
 // no two tasks in one sub-pipeline share a communication link; every
 // data dependency is scheduled at an earlier global position.
+//
+// It is a thin wrapper over invariant.CheckPipeline, the single source
+// of truth shared with the static plan analyzer (internal/analyze), so
+// scheduler self-validation and plan linting cannot drift apart.
 func Validate(g *dag.Graph, p *Pipeline) error {
-	seen := make([]bool, len(g.Tasks))
-	count := 0
-	// One link-count map serves every sub-pipeline; clearing it between
-	// iterations avoids an allocation per sub.
-	links := make(map[topo.LinkID]int)
-	for _, sub := range p.Subs {
-		clear(links)
-		for _, t := range sub.Tasks {
-			if seen[t] {
-				return fmt.Errorf("task %d scheduled twice", t)
-			}
-			seen[t] = true
-			count++
-			for _, l := range g.Links[t] {
-				links[l]++
-				if links[l] > g.LinkWindows[l] {
-					return fmt.Errorf(
-						"sub-pipeline %d: link %s holds %d tasks, window is %d (communication dependency violated)",
-						sub.Index, g.Topo.DescribeResource(l), links[l], g.LinkWindows[l])
-				}
-			}
-		}
+	return invariant.Err(invariant.CheckPipeline(g, p.SubTasks(), p.TaskPos))
+}
+
+// SubTasks returns the per-sub-pipeline task partition in schedule
+// order — the raw form the invariant checker consumes.
+func (p *Pipeline) SubTasks() [][]ir.TaskID {
+	out := make([][]ir.TaskID, len(p.Subs))
+	for i, sub := range p.Subs {
+		out[i] = sub.Tasks
 	}
-	if count != len(g.Tasks) {
-		return fmt.Errorf("pipeline covers %d of %d tasks", count, len(g.Tasks))
-	}
-	for t := range g.Tasks {
-		for _, dep := range g.Deps[t] {
-			if p.TaskPos[dep] >= p.TaskPos[t] {
-				return fmt.Errorf(
-					"task %d (pos %d) scheduled before its dependency %d (pos %d)",
-					t, p.TaskPos[t], dep, p.TaskPos[dep])
-			}
-		}
-	}
-	return nil
+	return out
 }
 
 // NSubs returns the number of sub-pipelines.

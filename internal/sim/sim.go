@@ -188,9 +188,16 @@ func (r *Result) MeanLinkUtilization() float64 {
 	if len(r.LinkBusy) == 0 || r.Completion <= 0 {
 		return 0
 	}
+	// Sum in sorted link order: float addition is order-sensitive, and
+	// map iteration order would leak into the reported utilization.
+	links := make([]topo.LinkID, 0, len(r.LinkBusy))
+	for l := range r.LinkBusy { //resccl:allow mapiter
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
 	sum := 0.0
-	for _, b := range r.LinkBusy {
-		sum += b
+	for _, l := range links {
+		sum += r.LinkBusy[l]
 	}
 	return sum / (float64(len(r.LinkBusy)) * r.Completion)
 }
@@ -441,7 +448,8 @@ func newSim(cfg MultiConfig) *sim {
 	}
 	if len(cfg.Congestion) > 0 {
 		s.congestion = make([]float64, t.NResources())
-		for r, f := range cfg.Congestion {
+		// Map→slice copy keyed by resource index: order-independent.
+		for r, f := range cfg.Congestion { //resccl:allow mapiter
 			if f < 0 {
 				f = 0
 			}
@@ -800,7 +808,8 @@ func (s *sim) result() *MultiResult {
 	if s.fault != nil {
 		mr.Faults = s.fault.applied
 	}
-	for l := range s.usedLinks {
+	// Map→map copy: order-independent.
+	for l := range s.usedLinks { //resccl:allow mapiter
 		mr.LinkBusy[l] = s.resBusy[l]
 	}
 	for _, se := range s.sessions {

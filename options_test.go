@@ -231,6 +231,7 @@ def ResCCLAlgo(nRanks=8, AlgoName="Bcast", OpType="Broadcast"):
 
 func TestDeprecatedAlgorithmsStructStillWorks(t *testing.T) {
 	// Old call sites keep compiling and agree with the registry.
+	//lint:ignore SA1019 this test exists to cover the deprecated catalog
 	a1, err := resccl.Algorithms.RingAllReduce(8)
 	if err != nil {
 		t.Fatal(err)

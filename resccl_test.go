@@ -120,13 +120,13 @@ def ResCCLAlgo(nRanks=8, AlgoName="Ring", OpType="Allgather"):
 }
 
 func TestAlgorithmsCatalog(t *testing.T) {
-	if _, err := resccl.Algorithms.HMAllReduce(2, 8); err != nil {
+	if _, err := resccl.BuildAlgorithm("hm-allreduce", 2, 8); err != nil {
 		t.Error(err)
 	}
-	if _, err := resccl.Algorithms.TreeAllReduce(16); err != nil {
+	if _, err := resccl.BuildAlgorithm("tree-allreduce", 16); err != nil {
 		t.Error(err)
 	}
-	a, err := resccl.Algorithms.RingReduceScatter(8)
+	a, err := resccl.BuildAlgorithm("ring-reducescatter", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestErrorPaths(t *testing.T) {
 
 func TestExecuteAlgorithmConcurrently(t *testing.T) {
 	comm := newComm(t, resccl.BackendResCCL)
-	algo, err := resccl.Algorithms.HMAllReduce(2, 4)
+	algo, err := resccl.BuildAlgorithm("hm-allreduce", 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestExecuteAlgorithmConcurrently(t *testing.T) {
 }
 
 func TestEmitLangRoundTrip(t *testing.T) {
-	algo, err := resccl.Algorithms.RingAllGather(4)
+	algo, err := resccl.BuildAlgorithm("ring-allgather", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +251,11 @@ func TestH100Topology(t *testing.T) {
 
 func TestRunConcurrently(t *testing.T) {
 	comm := newComm(t, resccl.BackendResCCL)
-	ar, err := resccl.Algorithms.HMAllReduce(2, 4)
+	ar, err := resccl.BuildAlgorithm("hm-allreduce", 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ag, err := resccl.Algorithms.HMAllGather(2, 4)
+	ag, err := resccl.BuildAlgorithm("hm-allgather", 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestRunConcurrently(t *testing.T) {
 }
 
 func TestEmbedAlgorithmGroups(t *testing.T) {
-	ring, err := resccl.Algorithms.RingAllReduce(2)
+	ring, err := resccl.BuildAlgorithm("ring-allreduce", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,15 +301,15 @@ func TestEmbedAlgorithmGroups(t *testing.T) {
 
 func TestLogStepAlgorithmsRun(t *testing.T) {
 	comm := newComm(t, resccl.BackendResCCL)
-	bruck, err := resccl.Algorithms.BruckAllGather(8)
+	bruck, err := resccl.BuildAlgorithm("bruck-allgather", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rhd, err := resccl.Algorithms.RHDAllReduce(8)
+	rhd, err := resccl.BuildAlgorithm("rhd-allreduce", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ringAG, err := resccl.Algorithms.RingAllGather(8)
+	ringAG, err := resccl.BuildAlgorithm("ring-allgather", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
