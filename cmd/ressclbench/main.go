@@ -19,6 +19,7 @@ import (
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/bench"
+	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/obs"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		format      = flag.String("format", "text", "output format: text, csv or markdown")
 		parallel    = flag.Bool("parallel", false, "fan independent simulation cells across a worker pool (output is byte-identical to a serial run)")
 		workers     = flag.Int("workers", 0, "worker pool size for -parallel; 0 means GOMAXPROCS")
+		protocol    = flag.String("protocol", "auto", "force a transport protocol tier on every compilation: auto, ll, ll128 or simple")
 		benchJSON   = flag.String("bench-json", "", "write a machine-readable perf record (wall clock, sim events/sec, cache hit rate) to this path")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every simulated cell to this path (forces a serial run for deterministic output)")
 		metricsJSON = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
@@ -59,6 +61,11 @@ func main() {
 		// keeps that order (and the trace bytes) deterministic.
 		*parallel = false
 	}
+	proto, err := ir.ParseProtocol(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	opts := bench.Options{
 		Quick:    *quick,
 		Parallel: *parallel,
@@ -66,6 +73,7 @@ func main() {
 		Cache:    cache,
 		Stats:    stats,
 		Trace:    tr,
+		Protocol: proto,
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -115,6 +123,9 @@ func main() {
 		if *format == "text" {
 			fmt.Printf("[%s completed in %v; plan cache %d hits / %d misses]\n\n",
 				e.ID, elapsed.Round(time.Millisecond), hits, misses)
+		}
+		if e.ID == "protocol-crossover" {
+			rec.SwitchPoints = bench.ProtocolSwitchPointRecords()
 		}
 		rec.Experiments = append(rec.Experiments, bench.PerfExperiment{
 			ID:          e.ID,

@@ -17,6 +17,7 @@ import (
 
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/topo"
 	"github.com/resccl/resccl/internal/train"
@@ -41,6 +42,7 @@ func main() {
 		dp    = flag.Int("dp", 0, "data-parallel width (default: fills remaining GPUs)")
 		batch = flag.Int("batch", 16, "global batch size")
 		bk    = flag.String("backend", "all", "backend: resccl, nccl, msccl or all")
+		proto = flag.String("protocol", "auto", "force a transport protocol tier on every collective: auto, ll, ll128 or simple")
 		frate = flag.Int("fault-rate", 0, "inject N seeded fault events per collective (0 = none)")
 		fseed = flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 		fspec = flag.String("fault-spec", "", "JSON fault-schedule file (see docs/faults.md); mutually exclusive with -fault-rate")
@@ -69,10 +71,15 @@ func main() {
 	if depth == 0 {
 		depth = (*nodes) * (*gpus) / width
 	}
+	protocol, err := ir.ParseProtocol(*proto)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := train.Config{
 		Model: m, GlobalBatch: *batch,
 		TP: width, DP: depth, NNodes: *nodes, GPN: *gpus,
 		FaultRate: *frate, FaultSeed: *fseed,
+		Protocol: protocol,
 	}
 	if *tout != "" {
 		cfg.Trace = obs.NewTrace()

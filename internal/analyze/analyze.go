@@ -151,7 +151,8 @@ func (o Options) withDefaults() Options {
 type Diag struct {
 	// Code names the lint ("deadlock", "hazard-ww", "hazard-rw",
 	// "link-infeasible", "tb-oversub", "dead-primitive", "coverage",
-	// "structure", plus the invariant codes of internal/analyze/invariant).
+	// "structure", "protocol", plus the invariant codes of
+	// internal/analyze/invariant).
 	Code     string
 	Severity Severity
 	// Message is the stable human-readable description.

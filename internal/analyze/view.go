@@ -107,6 +107,10 @@ func (v *planView) describeTask(t ir.TaskID) string {
 func checkStructure(v *planView) []Diag {
 	var ds []Diag
 	k, g := v.k, v.g
+	if !k.Protocol.Valid() {
+		ds = append(ds, Diag{Code: "protocol", Severity: SevError,
+			Message: fmt.Sprintf("undefined protocol tier %d (want auto, LL, LL128 or Simple)", int(k.Protocol))})
+	}
 	if len(k.SendTB) != len(g.Tasks) || len(k.RecvTB) != len(g.Tasks) {
 		ds = append(ds, Diag{Code: "structure", Severity: SevError,
 			Message: fmt.Sprintf("task/TB table size mismatch: %d send, %d recv entries for %d tasks",

@@ -36,6 +36,13 @@ type Request struct {
 	// honours Algo.Op and Algo.NRanks.
 	Algo *ir.Algorithm
 	Topo *topo.Topology
+	// Protocol is the transport protocol tier the plan should run under.
+	// Compilation is size-independent, so callers that auto-select by
+	// message size (SelectProtocol) resolve the tier before requesting a
+	// plan; the tier is stamped on the kernel and enters the plan-cache
+	// fingerprint, so forced and auto plans never collide. The zero
+	// value (auto) behaves as Simple.
+	Protocol ir.Protocol
 }
 
 // Plan is a compiled, executable collective.

@@ -120,6 +120,10 @@ func fingerprint(b Backend, req Request) ([sha256.Size]byte, bool) {
 	}
 	h := sha256.New()
 	io.WriteString(h, cfg)
+	// The protocol tier is resolved before compilation (auto-selection
+	// happens at request time), so it is part of the compile identity:
+	// forced and auto-selected plans must never collide.
+	writeInts(h, int64(req.Protocol))
 	hashAlgorithm(h, req.Algo)
 	hashTopology(h, req.Topo)
 	var key [sha256.Size]byte
@@ -138,8 +142,8 @@ func backendConfig(b Backend) (string, bool) {
 		return fmt.Sprintf("MSCCL|inst=%d", bb.Instances), true
 	case *ResCCL:
 		o := bb.Options
-		return fmt.Sprintf("ResCCL|pol=%d|alloc=%d|mode=%d|chunk=%d|win=%d|skipv=%t",
-			o.Policy, o.Alloc, o.Mode, o.ChunkBytes, o.WindowMB, o.SkipVerify), true
+		return fmt.Sprintf("ResCCL|pol=%d|alloc=%d|mode=%d|chunk=%d|win=%d|skipv=%t|proto=%d",
+			o.Policy, o.Alloc, o.Mode, o.ChunkBytes, o.WindowMB, o.SkipVerify, o.Protocol), true
 	default:
 		return "", false
 	}

@@ -99,6 +99,49 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	}
 }
 
+// Two requests differing only in protocol tier must compile to distinct
+// cache entries on every backend — a forced-LL plan and an auto plan
+// never collide, even though the transfer set is identical.
+func TestCacheKeyDiscriminatesProtocol(t *testing.T) {
+	for _, b := range []Backend{NewNCCL(), NewMSCCL(), NewResCCL()} {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			c := NewCache()
+			req := cacheTestRequest(t)
+			auto, _, err := c.CompileNoted(b, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forced := req
+			forced.Protocol = ir.ProtoLL
+			ll, hit, err := c.CompileNoted(b, forced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				t.Error("forced-LL request hit the auto entry")
+			}
+			if ll == auto {
+				t.Error("forced-LL plan shares the auto plan's cache entry")
+			}
+			if ll.Kernel.Protocol != ir.ProtoLL || auto.Kernel.Protocol != ir.ProtoAuto {
+				t.Errorf("kernel protocols = %s / %s, want LL / auto",
+					ll.Kernel.Protocol, auto.Kernel.Protocol)
+			}
+			if st := c.Stats(); st.Misses != 2 {
+				t.Errorf("stats = %+v, want 2 misses", st)
+			}
+			// Re-requesting each tier must hit its own entry.
+			if p, hit, _ := c.CompileNoted(b, forced); !hit || p != ll {
+				t.Error("second forced-LL request should hit the forced entry")
+			}
+			if p, hit, _ := c.CompileNoted(b, req); !hit || p != auto {
+				t.Error("second auto request should hit the auto entry")
+			}
+		})
+	}
+}
+
 // Concurrent requests for one key collapse into a single compilation, so
 // miss counts stay deterministic under the parallel harness.
 func TestCacheConcurrentSingleflight(t *testing.T) {

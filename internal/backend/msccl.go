@@ -44,6 +44,9 @@ func (m *MSCCL) Compile(req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("msccl: request needs an algorithm and topology")
 	}
+	if !req.Protocol.Valid() {
+		return nil, fmt.Errorf("msccl: undefined protocol tier %d", int(req.Protocol))
+	}
 	start := time.Now()
 	g, err := dag.Build(req.Algo, req.Topo)
 	if err != nil {
@@ -83,6 +86,7 @@ func (m *MSCCL) Compile(req Request) (*Plan, error) {
 	// Synthesizer output has no stage annotations and runs lazily at
 	// algorithm level (§2.1): one pass per micro-batch.
 	k.MBBarrier = !stageLevel
+	k.Protocol = req.Protocol
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(start)}}
 	return vet(&Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages})
 }

@@ -81,6 +81,9 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("nccl: request needs algorithm metadata and topology")
 	}
+	if !req.Protocol.Valid() {
+		return nil, fmt.Errorf("nccl: undefined protocol tier %d", int(req.Protocol))
+	}
 	compileStart := time.Now()
 	ch := n.Channels
 	if ch < 1 {
@@ -156,6 +159,7 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 		return nil, err
 	}
 	k.MBBarrier = true // algorithm-level (lazy) execution
+	k.Protocol = req.Protocol
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(compileStart)}}
 	return vet(&Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages})
 }

@@ -1,0 +1,188 @@
+package backend
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/sim"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// protoSweepSizes is the golden sweep: 64 KiB to 1 GiB in powers of
+// two, straddling both switch points on every topology below.
+func protoSweepSizes() []int64 {
+	var out []int64
+	for b := int64(64 << 10); b <= 1<<30; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+var protoGoldenTopos = []struct {
+	name string
+	tp   *topo.Topology
+}{
+	{"1x8-a100", topo.New(1, 8, topo.A100())},
+	{"2x8-a100", topo.New(2, 8, topo.A100())},
+}
+
+var protoGoldenOps = []ir.OpType{
+	ir.OpAllReduce, ir.OpAllGather, ir.OpReduceScatter, ir.OpBroadcast,
+}
+
+// tierRank orders protocols by effective bandwidth: auto-selection must
+// move through it monotonically as the buffer grows.
+func tierRank(p ir.Protocol) int {
+	switch p {
+	case ir.ProtoLL:
+		return 0
+	case ir.ProtoLL128:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// TestProtocolCrossoverGolden sweeps buffer sizes per collective per
+// topology and checks the auto-selected tier against a golden file, so
+// any cost-model change that moves a switch point shows up in review.
+// Run with -update to regenerate after intentional changes. The
+// rendering is pure integer/state formatting, so the bytes are
+// identical across -shuffle and -race runs.
+func TestProtocolCrossoverGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, tc := range protoGoldenTopos {
+		for _, op := range protoGoldenOps {
+			llMax, ll128Max := sim.ProtocolSwitchPoints(tc.tp, op)
+			fmt.Fprintf(&buf, "%s %s llMax=%d ll128Max=%d\n", tc.name, op, llMax, ll128Max)
+			for _, size := range protoSweepSizes() {
+				fmt.Fprintf(&buf, "%s %s %d %s\n", tc.name, op, size, sim.SelectProtocol(tc.tp, op, size))
+			}
+		}
+	}
+
+	golden := filepath.Join("testdata", "protocol_crossover.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/backend -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("crossover table differs from golden file %s (len %d vs %d); regenerate with -update if the cost-model change is intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// Auto-selection must be monotone in size — once a higher-bandwidth
+// tier wins, no larger buffer returns to a lower one — and the switch
+// points must be ordered and respected exactly at the boundaries.
+func TestProtocolSelectionMonotone(t *testing.T) {
+	for _, tc := range protoGoldenTopos {
+		for _, op := range protoGoldenOps {
+			llMax, ll128Max := sim.ProtocolSwitchPoints(tc.tp, op)
+			if llMax > ll128Max {
+				t.Errorf("%s %s: llMax %d > ll128Max %d", tc.name, op, llMax, ll128Max)
+			}
+			prev := -1
+			for size := int64(1 << 10); size <= 1<<32; size *= 2 {
+				tier := sim.SelectProtocol(tc.tp, op, size)
+				if r := tierRank(tier); r < prev {
+					t.Errorf("%s %s: tier %s at %d bytes after a higher tier", tc.name, op, tier, size)
+				} else {
+					prev = r
+				}
+			}
+			if llMax > 0 {
+				if got := sim.SelectProtocol(tc.tp, op, llMax); got != ir.ProtoLL {
+					t.Errorf("%s %s: at llMax=%d got %s, want LL", tc.name, op, llMax, got)
+				}
+			}
+			if ll128Max > llMax {
+				if got := sim.SelectProtocol(tc.tp, op, ll128Max); got != ir.ProtoLL128 {
+					t.Errorf("%s %s: at ll128Max=%d got %s, want LL128", tc.name, op, ll128Max, got)
+				}
+			}
+			if got := sim.SelectProtocol(tc.tp, op, ll128Max*2); got != ir.ProtoSimple {
+				t.Errorf("%s %s: at %d got %s, want Simple", tc.name, op, ll128Max*2, got)
+			}
+		}
+	}
+}
+
+// The simulator must reproduce the crossover the analytic model
+// predicts: a forced LL run beats forced Simple on a small buffer and
+// loses on a large one, end to end through NCCL backend compilation.
+func TestProtocolCrossoverSimFidelity(t *testing.T) {
+	tp := topo.New(2, 8, topo.A100())
+	algo := &ir.Algorithm{Name: "ar", Op: ir.OpAllReduce, NRanks: 16, NChunks: 16}
+	completion := func(proto ir.Protocol, bufBytes int64) float64 {
+		t.Helper()
+		plan, err := NewNCCL().Compile(Request{Algo: algo, Topo: tp, Protocol: proto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kernel.Protocol != proto {
+			t.Fatalf("compiled kernel carries protocol %s, want %s", plan.Kernel.Protocol, proto)
+		}
+		res, err := sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: bufBytes, ChunkBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Completion
+	}
+	const small, large = 256 << 10, 1 << 30
+	if ll, simple := completion(ir.ProtoLL, small), completion(ir.ProtoSimple, small); ll >= simple {
+		t.Errorf("small buffer: LL %.3gs should beat Simple %.3gs", ll, simple)
+	}
+	if ll, simple := completion(ir.ProtoLL, large), completion(ir.ProtoSimple, large); simple >= ll {
+		t.Errorf("large buffer: Simple %.3gs should beat LL %.3gs", simple, ll)
+	}
+}
+
+// A kernel whose protocol was never set must simulate identically to a
+// forced-Simple kernel aside from chunk capping — ProtoAuto is the
+// backward-compatible zero value.
+func TestProtoAutoIsSimpleIdentity(t *testing.T) {
+	tp := topo.New(1, 8, topo.A100())
+	algo := &ir.Algorithm{Name: "ag", Op: ir.OpAllGather, NRanks: 8, NChunks: 8}
+	run := func(proto ir.Protocol) float64 {
+		t.Helper()
+		plan, err := NewNCCL().Compile(Request{Algo: algo, Topo: tp, Protocol: proto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: 64 << 20, ChunkBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Completion
+	}
+	if auto, simple := run(ir.ProtoAuto), run(ir.ProtoSimple); auto != simple {
+		t.Errorf("ProtoAuto completion %.9g differs from ProtoSimple %.9g", auto, simple)
+	}
+}
+
+// Compiling with an out-of-range protocol must fail on every backend.
+func TestUndefinedProtocolRejected(t *testing.T) {
+	req := cacheTestRequest(t)
+	req.Protocol = ir.Protocol(99)
+	for _, b := range []Backend{NewNCCL(), NewMSCCL(), NewResCCL()} {
+		if _, err := b.Compile(req); err == nil {
+			t.Errorf("%s: compile accepted undefined protocol tier", b.Name())
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/resccl/resccl/internal/core"
+	"github.com/resccl/resccl/internal/ir"
 )
 
 // ResCCL is the paper's backend: HPDS primitive-level scheduling,
@@ -26,11 +27,21 @@ func (r *ResCCL) Compile(req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
 	}
-	c, err := core.Compile(req.Algo, req.Topo, r.Options)
+	c, err := core.Compile(req.Algo, req.Topo, r.options(req))
 	if err != nil {
 		return nil, err
 	}
 	return vet(&Plan{Backend: r.Name(), Algo: req.Algo, Kernel: c.Kernel, Stages: c.Phases.Stages()})
+}
+
+// options overlays the request's protocol tier (when forced) onto the
+// backend's configured options.
+func (r *ResCCL) options(req Request) core.Options {
+	opts := r.Options
+	if req.Protocol != ir.ProtoAuto {
+		opts.Protocol = req.Protocol
+	}
+	return opts
 }
 
 // CompileFull exposes the full compilation artifacts (pipeline,
@@ -40,5 +51,5 @@ func (r *ResCCL) CompileFull(req Request) (*core.Compiled, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
 	}
-	return core.Compile(req.Algo, req.Topo, r.Options)
+	return core.Compile(req.Algo, req.Topo, r.options(req))
 }

@@ -121,6 +121,11 @@ type Options struct {
 	// (-trace-out). Combine with a serial run: timelines append in cell
 	// completion order, which only a serial run makes deterministic.
 	Trace *obs.Trace
+	// Protocol forces a transport protocol tier on every compilation that
+	// does not already request one explicitly (-protocol). The zero value
+	// leaves requests alone: plans simulate at Simple-tier cost, as
+	// before protocol tiers existed.
+	Protocol ir.Protocol
 }
 
 // init fills derived defaults; every experiment calls it on entry.
@@ -134,6 +139,9 @@ func (o Options) init() Options {
 // compile routes a backend compilation through the plan cache, recording
 // compile-stage spans into the trace sink on misses.
 func compile(opts Options, b backend.Backend, req backend.Request) (*backend.Plan, error) {
+	if opts.Protocol.Forced() && req.Protocol == ir.ProtoAuto {
+		req.Protocol = opts.Protocol
+	}
 	plan, hit, err := opts.Cache.CompileNoted(b, req)
 	if err == nil && !hit && opts.Trace != nil && req.Algo != nil {
 		opts.Trace.AddStages("compile", b.Name()+"/"+req.Algo.Name, plan.Stages)
@@ -167,6 +175,7 @@ func Registry() []Experiment {
 		{"fig13", "End-to-end Megatron training throughput (GPT-3, T5)", Figure13},
 		{"ablation", "Design-choice ablations (granularity, allocation, scheduling policy, chunk size)", Ablations},
 		{"faulted", "Goodput under injected faults and runtime recovery (dynamic interference)", Faulted},
+		{"protocol-crossover", "NCCL protocol tiers: per-size completion and LL/LL128/Simple switch points", ProtocolCrossover},
 	}
 }
 

@@ -16,25 +16,37 @@ type PerfExperiment struct {
 	CacheMisses int64   `json:"cache_misses"`
 }
 
+// SwitchPoint records one collective's simulated protocol crossover
+// thresholds: buffers ≤ LLMaxBytes run LL, buffers ≤ LL128MaxBytes run
+// LL128, larger buffers run Simple.
+type SwitchPoint struct {
+	Collective    string `json:"collective"`
+	LLMaxBytes    int64  `json:"ll_max_bytes"`
+	LL128MaxBytes int64  `json:"ll128_max_bytes"`
+}
+
 // PerfRecord is the machine-readable output of ressclbench -bench-json.
 // Records are committed as BENCH_*.json files so perf regressions show
 // up in review (see docs/performance.md).
 type PerfRecord struct {
-	GeneratedBy  string           `json:"generated_by"`
-	Quick        bool             `json:"quick"`
-	Parallel     bool             `json:"parallel"`
-	Workers      int              `json:"workers"`
-	GOMAXPROCS   int              `json:"gomaxprocs"`
-	TotalWallMS  float64          `json:"total_wall_ms"`
-	SimEvents    int64            `json:"sim_events"`
-	SimRuns      int64            `json:"sim_runs"`
-	RTInstances  int64            `json:"rt_instances"`
-	Replans      int64            `json:"replans"`
-	EventsPerSec float64          `json:"events_per_sec"`
-	CacheHits    int64            `json:"cache_hits"`
-	CacheMisses  int64            `json:"cache_misses"`
-	CacheEntries int              `json:"cache_entries"`
-	CacheHitRate float64          `json:"cache_hit_rate"`
+	GeneratedBy  string  `json:"generated_by"`
+	Quick        bool    `json:"quick"`
+	Parallel     bool    `json:"parallel"`
+	Workers      int     `json:"workers"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	TotalWallMS  float64 `json:"total_wall_ms"`
+	SimEvents    int64   `json:"sim_events"`
+	SimRuns      int64   `json:"sim_runs"`
+	RTInstances  int64   `json:"rt_instances"`
+	Replans      int64   `json:"replans"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// SwitchPoints is filled when the protocol-crossover experiment ran:
+	// the simulated LL/LL128/Simple thresholds per collective.
+	SwitchPoints []SwitchPoint    `json:"protocol_switch_points,omitempty"`
 	Experiments  []PerfExperiment `json:"experiments"`
 }
 

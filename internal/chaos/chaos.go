@@ -128,16 +128,22 @@ func runCase(rng *rand.Rand, watchdog time.Duration) (string, *rt.Result, error)
 	if err != nil {
 		return sh.name, nil, fmt.Errorf("chaos: plan generation: %w", err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	sched := randomFaults(rng, tp)
+	nMB := 1 + rng.Intn(2)
+	// Random protocol tier, auto included: replanned cases must carry
+	// every tier through the topo.Carve recompile, and auto must stay
+	// the identity. Drawn last so earlier seeds' draws keep their
+	// historical values within a case.
+	proto := ir.Protocol(rng.Intn(4))
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 	if err != nil {
 		return sh.name, nil, fmt.Errorf("chaos: compile %s on %s: %w", algo.Name, sh.name, err)
 	}
 
-	sched := randomFaults(rng, tp)
-	desc := fmt.Sprintf("%s %s faults=%d", sh.name, algo.Name, len(sched.Events))
+	desc := fmt.Sprintf("%s %s proto=%s faults=%d", sh.name, algo.Name, plan.Kernel.Protocol, len(sched.Events))
 	res, err := rt.Execute(rt.Config{
 		Kernel:       plan.Kernel,
-		MicroBatches: 1 + rng.Intn(2),
+		MicroBatches: nMB,
 		Watchdog:     watchdog,
 		Faults:       sched,
 		Recovery:     rt.RecoveryPolicy{MaxRetries: 3, Backoff: 10 * time.Microsecond},

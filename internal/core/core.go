@@ -53,6 +53,11 @@ type Options struct {
 	// WindowMB is the micro-batch count assumed for timeline analysis
 	// (default 8).
 	WindowMB int
+	// Protocol is the transport protocol tier stamped on the generated
+	// kernel. Compilation itself is protocol-independent; the simulator
+	// applies the tier's cost parameters at run time. The zero value
+	// (auto) behaves as Simple.
+	Protocol ir.Protocol
 	// SkipVerify disables the data-plane correctness check of the input
 	// algorithm. Verification is cheap and on by default; disable only
 	// for scalability measurements on very large synthetic plans.
@@ -116,6 +121,9 @@ type Compiled struct {
 // Compile runs the full ResCCL pipeline on an already-built algorithm.
 func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, error) {
 	opts = opts.withDefaults()
+	if !opts.Protocol.Valid() {
+		return nil, fmt.Errorf("core: undefined protocol tier %d", int(opts.Protocol))
+	}
 	c := &Compiled{Algo: algo, Options: opts}
 
 	if !opts.SkipVerify {
@@ -158,6 +166,7 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 		return nil, fmt.Errorf("core: lowering: %w", err)
 	}
 	k.Mode = opts.Mode
+	k.Protocol = opts.Protocol
 	c.Kernel = k
 	c.Phases.Lower = time.Since(start)
 	return c, nil

@@ -113,6 +113,12 @@ type Kernel struct {
 	// micro-batches and leave this false.
 	MBBarrier bool
 
+	// Protocol is the transport protocol tier the plan runs under
+	// (LL/LL128/Simple). The zero value (ProtoAuto) simulates as Simple;
+	// the tier is resolved before compilation, so cached plans never mix
+	// tiers.
+	Protocol ir.Protocol
+
 	// TaskSub[t] / TaskPos[t] echo the schedule's sub-pipeline index and
 	// global pipeline position of task t, so the runtime can degrade
 	// (serialize) one sub-pipeline without consulting the schedule. Nil
@@ -236,6 +242,9 @@ func dedupTasks(ts []ir.TaskID) []ir.TaskID {
 // primitives for tasks not assigned to it.
 func Validate(k *Kernel) error {
 	g := k.Graph
+	if !k.Protocol.Valid() {
+		return fmt.Errorf("kernel %q: undefined protocol tier %d", k.Name, int(k.Protocol))
+	}
 	if len(k.SendTB) != len(g.Tasks) || len(k.RecvTB) != len(g.Tasks) {
 		return fmt.Errorf("kernel %q: task/TB table size mismatch", k.Name)
 	}

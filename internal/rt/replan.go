@@ -185,7 +185,10 @@ func frontierTrace(ex *executor) []ir.Transfer {
 // replan happens exactly when the system is already degraded — the one
 // moment a hung or racing plan would be catastrophic, and the one plan
 // the offline test matrix never saw.
-func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int) (*kernel.Kernel, error) {
+// The repair kernel inherits the failed epoch's protocol tier: replans
+// happen mid-collective, when the transport tier on every surviving
+// rank is already committed.
+func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int, proto ir.Protocol) (*kernel.Kernel, error) {
 	g, err := dag.Build(algo, tp)
 	if err != nil {
 		return nil, err
@@ -200,6 +203,7 @@ func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int) (*kernel.Kern
 	if err != nil {
 		return nil, err
 	}
+	k.Protocol = proto
 	report, err := analyze.Plan(k, analyze.Options{Checks: analyze.CheckGate})
 	if err != nil {
 		return nil, fmt.Errorf("rt: replan gate: %w", err)
@@ -245,7 +249,7 @@ func replanAndResume(ex *executor, perm *permPlan, res *Result, watchdog time.Du
 		LostChunks:     rp.LostChunks,
 	}
 	if rp.Algo != nil {
-		k2, err := compileRepair(rp.Algo, carved, ex.n)
+		k2, err := compileRepair(rp.Algo, carved, ex.n, ex.k.Protocol)
 		if err != nil {
 			return fmt.Errorf("rt: replan: recompile: %w", err)
 		}

@@ -376,6 +376,11 @@ type session struct {
 	plan   Plan
 	buffer int64
 	interp float64
+	// wire inflates each chunk's payload bytes to wire bytes under the
+	// kernel's protocol tier (1/BWFactor): LL moves two wire bytes per
+	// payload byte, so capacities and TB capabilities stay expressed in
+	// wire bytes and cross-tier contention remains physical.
+	wire float64
 	// taskOff/tbOff map local ids into the global arrays.
 	taskOff gid
 	tbOff   int
@@ -470,10 +475,16 @@ func newSim(cfg MultiConfig) *sim {
 	taskOff, tbOff := gid(0), 0
 	for si, sc := range cfg.Sessions {
 		k := sc.Kernel
+		// The kernel's protocol tier shapes the session's micro-batch
+		// geometry (chunk cap), startup latency (α factor) and wire-byte
+		// inflation (bandwidth factor). ProtoAuto/ProtoSimple are the
+		// identity on all three.
+		params := Params(k.Protocol)
 		se := &session{
 			k:       k,
-			plan:    PlanFor(sc.BufferBytes, sc.ChunkBytes, k.Graph.Algo.NChunks),
+			plan:    PlanFor(sc.BufferBytes, params.EffectiveChunk(sc.ChunkBytes), k.Graph.Algo.NChunks),
 			buffer:  sc.BufferBytes,
+			wire:    1 / params.BWFactor,
 			taskOff: taskOff,
 			tbOff:   tbOff,
 			nTasks:  len(k.Graph.Tasks),
@@ -490,7 +501,7 @@ func newSim(cfg MultiConfig) *sim {
 			ts.local = ir.TaskID(i)
 			ts.cap = p.TBCap
 			ts.resources = p.Resources
-			ts.alpha = p.Alpha.Seconds()
+			ts.alpha = p.Alpha.Seconds() * params.AlphaFactor
 		}
 		for lt, preds := range k.LinkPreds {
 			for _, p := range preds {
@@ -674,8 +685,9 @@ func (s *sim) tryStart(t gid) {
 // the affected component.
 func (s *sim) enterDataPhase(t gid) {
 	ts := &s.tasks[t]
+	se := s.sess(t)
 	ts.active = true
-	ts.remaining = s.sess(t).plan.ChunkBytes
+	ts.remaining = se.plan.ChunkBytes * se.wire
 	ts.lastUpdate = s.now
 	ts.rate = 0
 	for _, r := range ts.resources {

@@ -86,6 +86,11 @@ type Config struct {
 	// on a single-server sub-topology with its own resource namespace
 	// and are not faulted. Mutually exclusive with FaultRate.
 	Faults *fault.Schedule
+	// Protocol forces a transport protocol tier (LL, LL128, Simple) on
+	// every collective the iteration issues (ressclsim -protocol). The
+	// zero value keeps the historical behaviour: training buffers are
+	// bandwidth-bound, so plans run at Simple-tier cost.
+	Protocol ir.Protocol
 	// Trace, when non-nil, collects compile-stage spans and the
 	// simulated timeline of every collective the iteration issues
 	// (ressclsim -trace-out). Faulted collectives record the faulted
@@ -176,8 +181,8 @@ type sink struct {
 // non-nil spec reruns it under that explicit schedule instead. When o
 // carries a trace, the final (possibly faulted) run records its
 // timeline.
-func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule, o sink) (float64, int, error) {
-	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, proto ir.Protocol, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule, o sink) (float64, int, error) {
+	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -269,7 +274,7 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 		}
 		// Explicit fault specs name full-cluster resources, so the TP
 		// sub-topology never sees them (see Config.Faults).
-		one, _, err := commTime(b, tpTopo, algo, actBytes, cfg.FaultRate, cfg.FaultSeed, nil,
+		one, _, err := commTime(b, tpTopo, algo, cfg.Protocol, actBytes, cfg.FaultRate, cfg.FaultSeed, nil,
 			sink{tr: cfg.Trace, m: cfg.Metrics, label: "tp"})
 		if err != nil {
 			return nil, fmt.Errorf("train: TP comm: %w", err)
@@ -293,7 +298,7 @@ func Simulate(cfg Config, b backend.Backend) (*Result, error) {
 			var algo *ir.Algorithm
 			algo, err = arAlgo(cfg.NNodes, cfg.GPN)
 			if err == nil {
-				dp, tbs, err = commTime(b, dpTopo, algo, gradBytes, cfg.FaultRate, cfg.FaultSeed, cfg.Faults,
+				dp, tbs, err = commTime(b, dpTopo, algo, cfg.Protocol, gradBytes, cfg.FaultRate, cfg.FaultSeed, cfg.Faults,
 					sink{tr: cfg.Trace, m: cfg.Metrics, label: "dp"})
 			}
 		}
@@ -349,7 +354,7 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 		if err != nil {
 			return 0, 0, err
 		}
-		plan, err := b.Compile(backend.Request{Algo: grp, Topo: tp})
+		plan, err := b.Compile(backend.Request{Algo: grp, Topo: tp, Protocol: cfg.Protocol})
 		if err != nil {
 			return 0, 0, err
 		}

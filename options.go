@@ -1,6 +1,7 @@
 package resccl
 
 import (
+	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/obs"
 )
 
@@ -43,6 +44,7 @@ type CommRunOption interface {
 type runSettings struct {
 	chunkBytes int64
 	autoTune   bool
+	protocol   ir.Protocol
 	trace      *obs.Trace
 	metrics    *obs.Metrics
 	timeline   bool
@@ -73,6 +75,17 @@ func WithChunkBytes(n int64) CommRunOption {
 		s.chunkBytes = n
 		s.autoTune = false
 	}}
+}
+
+// WithProtocol forces a transport protocol tier (ProtoLL, ProtoLL128,
+// ProtoSimple) for the run instead of the backend's size-based
+// auto-selection. Usable per communicator or per call; the per-call
+// setting wins. ProtoAuto restores auto-selection: the NCCL backend
+// picks the tier real NCCL would use for the message size, the other
+// backends run at full bandwidth (Simple semantics). Forced and
+// auto-selected plans are cached under distinct fingerprints.
+func WithProtocol(p Protocol) CommRunOption {
+	return dualOption{run: func(s *runSettings) { s.protocol = p }}
 }
 
 // WithAutoTunedChunks picks the chunk size per call from the Eq. 5

@@ -43,6 +43,85 @@ func TestRunOptionPrecedence(t *testing.T) {
 	}
 }
 
+// WithProtocol must follow the same precedence as every dual option:
+// per-call beats the communicator default, auto-selection fills the gap
+// on the NCCL backend, and each tier compiles to its own cache entry.
+func TestWithProtocolPrecedenceAndSelection(t *testing.T) {
+	tp := resccl.NewTopology(2, 8, resccl.A100())
+	comm, err := resccl.NewCommunicator(tp,
+		resccl.WithBackend(resccl.BackendNCCL),
+		resccl.WithProtocol(resccl.ProtoSimple))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Communicator default wins over auto-selection even at LL sizes.
+	small, err := comm.AllReduce(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Protocol != resccl.ProtoSimple {
+		t.Errorf("communicator-forced Simple ran %s", small.Protocol)
+	}
+	// Per-call option beats the communicator default.
+	forced, err := comm.AllReduce(128<<10, resccl.WithProtocol(resccl.ProtoLL128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Protocol != resccl.ProtoLL128 {
+		t.Errorf("per-call LL128 ran %s", forced.Protocol)
+	}
+	if forced.Completion >= small.Completion {
+		t.Errorf("LL128 at 128KiB took %v, should beat Simple's %v", forced.Completion, small.Completion)
+	}
+	// Per-call auto restores size-based selection: LL at 128 KiB.
+	auto, err := comm.AllReduce(128<<10, resccl.WithProtocol(resccl.ProtoAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Protocol != resccl.ProtoLL {
+		t.Errorf("auto at 128KiB ran %s, want LL", auto.Protocol)
+	}
+	// Three protocols → three distinct plan-cache entries, no collisions.
+	if st := comm.PlanCacheStats(); st.Entries != 3 || st.Misses != 3 {
+		t.Errorf("cache stats = %+v, want 3 entries / 3 misses", st)
+	}
+	// The per-call override must not stick to the communicator.
+	again, err := comm.AllReduce(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Protocol != resccl.ProtoSimple {
+		t.Errorf("per-call protocol leaked into communicator state: %s", again.Protocol)
+	}
+}
+
+// Auto-selection is an NCCL-backend behaviour: the ResCCL backend keeps
+// auto (Simple-cost) plans at every size unless a tier is forced.
+func TestProtocolAutoOnlyOnNCCL(t *testing.T) {
+	tp := resccl.NewTopology(2, 8, resccl.A100())
+	comm, err := resccl.NewCommunicator(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := comm.AllReduce(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Protocol != resccl.ProtoAuto {
+		t.Errorf("ResCCL backend auto-selected %s; auto must stay auto", run.Protocol)
+	}
+	forced, err := comm.AllReduce(128<<10, resccl.WithProtocol(resccl.ProtoLL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Protocol != resccl.ProtoLL {
+		t.Errorf("forced LL on ResCCL ran %s", forced.Protocol)
+	}
+	if forced.Completion >= run.Completion {
+		t.Errorf("forced LL at 128KiB took %v, should beat auto's %v", forced.Completion, run.Completion)
+	}
+}
+
 func TestSentinelErrors(t *testing.T) {
 	if _, err := resccl.NewCommunicator(nil); !errors.Is(err, resccl.ErrNilTopology) {
 		t.Errorf("nil topology: got %v, want ErrNilTopology", err)

@@ -48,6 +48,22 @@ const (
 	AllToAll      = ir.OpAllToAll
 )
 
+// Protocol is an NCCL-style transport protocol tier. LL trades half the
+// wire bandwidth for the lowest per-chunk latency, LL128 keeps 120/128
+// of the bandwidth at moderate latency, Simple runs at full bandwidth
+// with the full handshake cost. ProtoAuto (the default) lets the NCCL
+// backend pick by message size, as the real library does; force a tier
+// with WithProtocol.
+type Protocol = ir.Protocol
+
+// Protocol tiers.
+const (
+	ProtoAuto   = ir.ProtoAuto
+	ProtoLL     = ir.ProtoLL
+	ProtoLL128  = ir.ProtoLL128
+	ProtoSimple = ir.ProtoSimple
+)
+
 // Algorithm is a collective communication algorithm: the data-transfer
 // plan between GPUs, independent of execution policy.
 type Algorithm = ir.Algorithm
@@ -162,6 +178,11 @@ type Run struct {
 	Algorithm string
 	// BufferBytes is the per-rank payload.
 	BufferBytes int64
+	// Protocol is the transport protocol tier the plan ran under —
+	// the auto-selected tier when the call left it to the backend, or
+	// the forced tier of WithProtocol. ProtoAuto means the backend does
+	// not distinguish tiers (Simple semantics).
+	Protocol Protocol
 	// Completion is the simulated wall time of the collective.
 	Completion time.Duration
 
@@ -277,7 +298,7 @@ func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...
 		return nil, fmt.Errorf("%w: got %d", ErrInvalidBuffer, bufferBytes)
 	}
 	s := c.settings(opts)
-	plan, err := c.plan(algo, &s)
+	plan, err := c.plan(algo, &s, c.resolveProtocol(&s, algo.Op, bufferBytes))
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +329,7 @@ func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...
 		Backend:     plan.Backend,
 		Algorithm:   plan.Algo.Name,
 		BufferBytes: bufferBytes,
+		Protocol:    plan.Kernel.Protocol,
 		Completion:  time.Duration(res.Completion * float64(time.Second)),
 		result:      res,
 		util:        trace.Analyze(plan.Kernel, res, plan.Backend),
@@ -319,13 +341,26 @@ func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...
 	return run, nil
 }
 
+// resolveProtocol turns the call's protocol setting into a concrete
+// request tier: a forced tier passes through; auto on the NCCL backend
+// becomes the size-based choice real NCCL's tuning table would make
+// (sim.SelectProtocol); auto elsewhere stays auto, which the
+// simulator treats as Simple — ResCCL and MSCCL plans are unchanged
+// unless a tier is forced.
+func (c *Communicator) resolveProtocol(s *runSettings, op Op, bufferBytes int64) ir.Protocol {
+	if s.protocol.Forced() || c.kind != BackendNCCL {
+		return s.protocol
+	}
+	return sim.SelectProtocol(c.topo, op, bufferBytes)
+}
+
 // plan compiles the algorithm with the communicator's backend through
 // the structural plan cache (keyed on backend configuration, algorithm
 // transfers and topology — not just the algorithm's name). On a miss it
 // records the backend's compile stages into the call's trace sink and
 // counts cache traffic into its metrics.
-func (c *Communicator) plan(algo *Algorithm, s *runSettings) (*backend.Plan, error) {
-	p, hit, err := c.cache.CompileNoted(c.backend, backend.Request{Algo: algo, Topo: c.topo})
+func (c *Communicator) plan(algo *Algorithm, s *runSettings, proto ir.Protocol) (*backend.Plan, error) {
+	p, hit, err := c.cache.CompileNoted(c.backend, backend.Request{Algo: algo, Topo: c.topo, Protocol: proto})
 	if err != nil {
 		return nil, err
 	}
@@ -374,7 +409,7 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64, 
 		if bufferBytes[i] <= 0 {
 			return nil, fmt.Errorf("%w: buffer %d", ErrInvalidBuffer, i)
 		}
-		plan, err := c.plan(algo, &s)
+		plan, err := c.plan(algo, &s, c.resolveProtocol(&s, algo.Op, bufferBytes[i]))
 		if err != nil {
 			return nil, err
 		}
@@ -398,6 +433,7 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64, 
 			Backend:     plan.Backend,
 			Algorithm:   plan.Algo.Name,
 			BufferBytes: bufferBytes[i],
+			Protocol:    plan.Kernel.Protocol,
 			Completion:  time.Duration(res.Completion * float64(time.Second)),
 			result:      res,
 			util:        trace.Analyze(plan.Kernel, res, plan.Backend),
@@ -419,8 +455,10 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64, 
 // deadlock-free and semantically correct, independent of the timing
 // simulator.
 func (c *Communicator) ExecuteAlgorithm(algo *Algorithm, microBatches int, opts ...RunOption) error {
+	// No payload size exists here, so auto stays auto: the data-plane
+	// runtime moves symbolic chunks and has no protocol dimension.
 	s := c.settings(opts)
-	plan, err := c.plan(algo, &s)
+	plan, err := c.plan(algo, &s, s.protocol)
 	if err != nil {
 		return err
 	}
