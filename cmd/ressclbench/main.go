@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -22,6 +23,41 @@ import (
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/obs"
 )
+
+// startProfiles begins CPU profiling and arranges a heap snapshot,
+// returning a stop function main must call before exiting (see
+// docs/performance.md for the profiling workflow).
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+}
 
 func main() {
 	var (
@@ -35,8 +71,12 @@ func main() {
 		benchJSON   = flag.String("bench-json", "", "write a machine-readable perf record (wall clock, sim events/sec, cache hit rate) to this path")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of every simulated cell to this path (forces a serial run for deterministic output)")
 		metricsJSON = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this path")
 	)
 	flag.Parse()
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -38,6 +38,8 @@ func main() {
 		nodes    = flag.Int("nodes", 2, "number of servers")
 		gpus     = flag.Int("gpus", 8, "GPUs per server")
 		profile  = flag.String("profile", "a100", "hardware profile: a100 or v100")
+		fabric   = flag.String("topology", "flat", "inter-node fabric: flat (single switch), clos (leaf/spine) or rail (rail-optimized)")
+		spines   = flag.Int("spines", 4, "number of spine switches for -topology clos/rail")
 		policy   = flag.String("policy", "hpds", "scheduling policy: hpds, rr or seq")
 		alloc    = flag.String("alloc", "state", "TB allocation: state or conn")
 		dump     = flag.Bool("dump-kernel", false, "print the generated kernel's TB programs")
@@ -102,7 +104,17 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown profile %q", *profile))
 	}
-	tp := topo.New(*nodes, *gpus, prof)
+	var tp *topo.Topology
+	switch strings.ToLower(*fabric) {
+	case "flat":
+		tp = topo.New(*nodes, *gpus, prof)
+	case "clos":
+		tp = topo.NewClos(*nodes, *gpus, prof, *spines)
+	case "rail":
+		tp = topo.NewRail(*nodes, *gpus, prof, *spines)
+	default:
+		fatal(fmt.Errorf("unknown topology %q (flat, clos or rail)", *fabric))
+	}
 
 	opts := core.Options{}
 	switch strings.ToLower(*policy) {

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -48,8 +50,33 @@ func main() {
 		fspec = flag.String("fault-spec", "", "JSON fault-schedule file (see docs/faults.md); mutually exclusive with -fault-rate")
 		tout  = flag.String("trace-out", "", "write a Chrome trace-event JSON of every simulated collective to this path (open in Perfetto; see docs/observability.md)")
 		mout  = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
+		cpup  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+		memp  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this path")
 	)
 	flag.Parse()
+	if *cpup != "" {
+		f, err := os.Create(*cpup)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memp != "" {
+		defer func() {
+			f, err := os.Create(*memp)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	m, ok := models[strings.ToLower(*model)]
 	if !ok {

@@ -13,10 +13,22 @@ import (
 // B happens before A, and those semaphore/rendezvous/program-order
 // edges are the ONLY ordering the runtime enforces (buffer mutexes
 // prevent torn reads, not races). So the pass reuses the deadlock
-// pass's graph: it topologically sorts the nodes, accumulates ancestor
-// bitsets, and flags any same-location access pair (at least one a
-// write, within one micro-batch — each micro-batch owns a disjoint
-// buffer) where neither node is an ancestor of the other.
+// pass's graph, topologically sorts it, and checks every same-location
+// access pair (at least one a write, within one micro-batch — each
+// micro-batch owns a disjoint buffer) for a happens-before path.
+//
+// Pairs are checked per location along the access list in topological
+// order: each access must be ordered after the most recent write, and
+// each write after every read since the previous write. Ordering is
+// transitive, so these O(accesses) queries cover all O(accesses²)
+// write-involving pairs — if every chain query holds, any earlier
+// access reaches a later one through the intervening writes, and if
+// some pair is unordered, one of the chain queries fails. Each query
+// runs a backward search pruned by topological position; on a
+// well-formed plan the dependency that orders the pair is a direct
+// wait-for edge, so queries touch a handful of nodes and the pass
+// stays near-linear in plan size (the previous all-pairs ancestor
+// bitsets cost O(n²/64) time and space — gigabytes at 4096 ranks).
 //
 // The precondition is an acyclic graph with no stranded invocations;
 // Plan() skips this pass otherwise, because a deadlocked plan has no
@@ -34,6 +46,12 @@ type locKey struct {
 	chunk ir.ChunkID
 	mb    int
 }
+
+// reachBudget bounds the total nodes expanded across all ordering
+// queries of one pass — a backstop against adversarial plans whose
+// ordering paths are all indirect; real plans order same-location
+// accesses through direct dependency edges and use a tiny fraction.
+const reachBudget = 1 << 22
 
 func checkHazards(v *planView, opts Options) []Diag {
 	w := buildWaitFor(v, opts.AnalysisMB)
@@ -73,40 +91,59 @@ func checkHazards(v *planView, opts Options) []Diag {
 		return []Diag{{Code: "hazard", Severity: SevInfo,
 			Message: "hazard analysis skipped: wait-for graph is cyclic"}}
 	}
-
-	// Ancestor bitsets in topological order: anc(a) = ⋃ anc(b) ∪ {b}
-	// over all b that a waits on.
-	words := (n + 63) / 64
-	anc := make([]uint64, n*words)
-	for _, a := range order {
-		row := anc[int(a)*words : int(a+1)*words]
-		for _, b := range w.out[a] {
-			brow := anc[int(b)*words : int(b+1)*words]
-			for wi := range row {
-				row[wi] |= brow[wi]
-			}
-			row[b/64] |= 1 << uint(b%64)
-		}
+	pos := make([]int32, n)
+	for i, nd := range order {
+		pos[nd] = int32(i)
 	}
+
+	// ordered(a, b) reports a happens-before path a → b, given
+	// pos[a] < pos[b]: search backward from b along the waits-for edges,
+	// pruning nodes positioned before a (every edge strictly decreases
+	// position, so nothing there can lead back to a). Visited stamps are
+	// generation-counted to keep queries allocation-free.
+	visited := make([]int32, n)
+	gen := int32(0)
+	queue := make([]int32, 0, 64)
+	budget := reachBudget
 	ordered := func(a, b int32) bool {
-		return anc[int(a)*words+int(b/64)]&(1<<uint(b%64)) != 0 ||
-			anc[int(b)*words+int(a/64)]&(1<<uint(a%64)) != 0
+		gen++
+		queue = append(queue[:0], b)
+		visited[b] = gen
+		for qi := 0; qi < len(queue); qi++ {
+			for _, x := range w.out[queue[qi]] {
+				if x == a {
+					return true
+				}
+				if pos[x] <= pos[a] || visited[x] == gen {
+					continue
+				}
+				visited[x] = gen
+				queue = append(queue, x)
+				budget--
+			}
+		}
+		return false
 	}
 
 	// Collect accesses: at the rendezvous meeting the send side reads
 	// (Src, Chunk) and the recv side writes (Dst, Chunk) — an rrc also
 	// reads what it merges into, but read+write at one node adds nothing
-	// to the pair analysis.
+	// to the pair analysis. Micro-batches are isomorphic, so only
+	// micro-batch 0 locations are checked (one report per pair).
 	accs := make(map[locKey][]access)
 	for i, node := range w.nodes {
 		if node.task < 0 || node.sendK < 0 || node.recvK < 0 {
 			continue
 		}
 		tr := v.g.Tasks[node.task].Transfer
-		accs[locKey{tr.Src, tr.Chunk, node.sendMB}] = append(
-			accs[locKey{tr.Src, tr.Chunk, node.sendMB}], access{int32(i), false})
-		accs[locKey{tr.Dst, tr.Chunk, node.recvMB}] = append(
-			accs[locKey{tr.Dst, tr.Chunk, node.recvMB}], access{int32(i), true})
+		if node.sendMB == 0 {
+			k := locKey{tr.Src, tr.Chunk, 0}
+			accs[k] = append(accs[k], access{int32(i), false})
+		}
+		if node.recvMB == 0 {
+			k := locKey{tr.Dst, tr.Chunk, 0}
+			accs[k] = append(accs[k], access{int32(i), true})
+		}
 	}
 	keys := make([]locKey, 0, len(accs))
 	for k := range accs {
@@ -117,42 +154,57 @@ func checkHazards(v *planView, opts Options) []Diag {
 		if a.rank != b.rank {
 			return a.rank < b.rank
 		}
-		if a.chunk != b.chunk {
-			return a.chunk < b.chunk
-		}
-		return a.mb < b.mb
+		return a.chunk < b.chunk
 	})
 
 	var ds []Diag
 	seen := make(map[[2]ir.TaskID]bool)
-	for _, key := range keys {
-		if key.mb != 0 {
-			continue // micro-batches are isomorphic; one report per pair
+	report := func(key locKey, a, b int32, ww bool) {
+		ta, tb := w.nodes[a].task, w.nodes[b].task
+		pair := [2]ir.TaskID{ta, tb}
+		if tb < ta {
+			pair = [2]ir.TaskID{tb, ta}
 		}
+		if seen[pair] {
+			return
+		}
+		seen[pair] = true
+		kind := "hazard-rw"
+		if ww {
+			kind = "hazard-ww"
+		}
+		ds = append(ds, Diag{Code: kind, Severity: SevError,
+			Message: fmt.Sprintf("rank %d chunk %d: %s and %s are unordered under happens-before",
+				key.rank, key.chunk, v.describeTask(pair[0]), v.describeTask(pair[1])),
+			Tasks: []ir.TaskID{pair[0], pair[1]}})
+	}
+	reads := make([]int32, 0, 16)
+	for _, key := range keys {
 		list := accs[key]
-		for i := 0; i < len(list); i++ {
-			for j := i + 1; j < len(list); j++ {
-				a, b := list[i], list[j]
-				if a.node == b.node || (!a.write && !b.write) || ordered(a.node, b.node) {
-					continue
+		sort.Slice(list, func(i, j int) bool { return pos[list[i].node] < pos[list[j].node] })
+		lastWrite := int32(-1)
+		reads = reads[:0]
+		for _, ac := range list {
+			if budget <= 0 {
+				return append(ds, Diag{Code: "hazard", Severity: SevInfo,
+					Message: "hazard analysis truncated: ordering-query budget exhausted; remaining access pairs unchecked"})
+			}
+			if ac.write {
+				if lastWrite >= 0 && ac.node != lastWrite && !ordered(lastWrite, ac.node) {
+					report(key, lastWrite, ac.node, true)
 				}
-				ta, tb := w.nodes[a.node].task, w.nodes[b.node].task
-				pair := [2]ir.TaskID{ta, tb}
-				if tb < ta {
-					pair = [2]ir.TaskID{tb, ta}
+				for _, r := range reads {
+					if r != ac.node && !ordered(r, ac.node) {
+						report(key, r, ac.node, false)
+					}
 				}
-				if seen[pair] {
-					continue
+				lastWrite = ac.node
+				reads = reads[:0]
+			} else {
+				if lastWrite >= 0 && ac.node != lastWrite && !ordered(lastWrite, ac.node) {
+					report(key, lastWrite, ac.node, false)
 				}
-				seen[pair] = true
-				kind := "hazard-rw"
-				if a.write && b.write {
-					kind = "hazard-ww"
-				}
-				ds = append(ds, Diag{Code: kind, Severity: SevError,
-					Message: fmt.Sprintf("rank %d chunk %d: %s and %s are unordered under happens-before",
-						key.rank, key.chunk, v.describeTask(pair[0]), v.describeTask(pair[1])),
-					Tasks: []ir.TaskID{pair[0], pair[1]}})
+				reads = append(reads, ac.node)
 			}
 		}
 	}

@@ -176,6 +176,7 @@ func Registry() []Experiment {
 		{"ablation", "Design-choice ablations (granularity, allocation, scheduling policy, chunk size)", Ablations},
 		{"faulted", "Goodput under injected faults and runtime recovery (dynamic interference)", Faulted},
 		{"protocol-crossover", "NCCL protocol tiers: per-size completion and LL/LL128/Simple switch points", ProtocolCrossover},
+		{"scale", "Simulator scale sweep: events/sec and wall time vs rank count (hierarchical AllReduce)", Scale},
 	}
 }
 

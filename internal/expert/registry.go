@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/synth"
 )
 
 // Builder describes one expert algorithm constructor in the registry.
@@ -51,6 +52,9 @@ func init() {
 	register("hm-reducescatter", ir.OpReduceScatter, 2, two(HMReduceScatter))
 	register("hierarchical-broadcast", ir.OpBroadcast, 2, two(HierarchicalBroadcast))
 	register("hierarchical-alltoall", ir.OpAllToAll, 2, two(HierarchicalAllToAll))
+	// Scale-out composition (synth): gpn chunks, one per rail, so plan
+	// size grows linearly with rank count instead of quadratically.
+	register("hier-allreduce", ir.OpAllReduce, 2, two(synth.HierAllReduce))
 }
 
 // Names returns every registered builder name, sorted.

@@ -125,7 +125,7 @@ func (s *sim) applyFaultBound(i int) {
 	for _, r := range b.ev.Resources {
 		fs.refreshCapFactor(r, s.now)
 	}
-	s.recomputeAround(b.ev.Resources)
+	s.markDirty(b.ev.Resources)
 }
 
 // refreshCapFactor recomputes resource r's surviving-capacity fraction
@@ -182,7 +182,7 @@ func (s *sim) recomputeStraggler(tb int) {
 	if len(fs.resScratch) == 0 {
 		return
 	}
-	s.recomputeAround(fs.resScratch)
+	s.markDirty(fs.resScratch)
 }
 
 // taskSlow returns the slowdown of task t's driving thread blocks (the

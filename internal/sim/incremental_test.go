@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/fault"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// The incremental solver (dirty-link coalescing + per-component
+// re-solve) must be a pure optimization: every observable quantity —
+// completion, per-TB stats, link busy time, instance counts, timelines,
+// applied faults — must be bit-identical to the retained full-re-solve
+// reference (Config.FullResolve). Only Events may differ: coalescing
+// batches same-timestamp boundaries, so the incremental run schedules
+// fewer rate-boundary events. These tests are the contract.
+
+// normalize prepares a Result for cross-strategy comparison: the event
+// counter is zeroed (coalescing legitimately schedules fewer boundary
+// events), and the timeline is put in a canonical order — spans record
+// completion order, and the order WITHIN one batch of simultaneous
+// completions follows heap insertion sequence, which differs between
+// strategies. Every span's fields, including its float timings, must
+// still match bit for bit.
+func normalize(r *Result) *Result {
+	c := *r
+	c.Events = 0
+	c.Timeline = append([]InstanceSpan(nil), r.Timeline...)
+	sort.SliceStable(c.Timeline, func(i, j int) bool {
+		a, b := c.Timeline[i], c.Timeline[j]
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.MB < b.MB
+	})
+	return &c
+}
+
+func requireIdentical(t *testing.T, label string, inc, full *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(normalize(inc), normalize(full)) {
+		t.Fatalf("%s: incremental result diverges from full re-solve reference\nincremental: completion=%.17g instances=%d\nfull:        completion=%.17g instances=%d",
+			label, inc.Completion, inc.Instances, full.Completion, full.Instances)
+	}
+	if inc.Events > full.Events {
+		t.Errorf("%s: incremental solver processed MORE events (%d) than the eager reference (%d)",
+			label, inc.Events, full.Events)
+	}
+}
+
+// TestIncrementalMatchesFullResolve sweeps shapes, backends and
+// topologies fault-free: per-flow rate evolution must agree exactly,
+// so all derived timings must too.
+func TestIncrementalMatchesFullResolve(t *testing.T) {
+	cases := []struct {
+		name string
+		tp   *topo.Topology
+		algo func() (*ir.Algorithm, error)
+	}{
+		{"mesh-1x4", topo.New(1, 4, topo.A100()),
+			func() (*ir.Algorithm, error) { return expert.MeshAllReduce(4) }},
+		{"hm-2x4", topo.New(2, 4, topo.A100()),
+			func() (*ir.Algorithm, error) { return expert.HMAllReduce(2, 4) }},
+		{"hm-2x8-v100", topo.New(2, 8, topo.V100()),
+			func() (*ir.Algorithm, error) { return expert.HMAllReduce(2, 8) }},
+		{"hier-4x4-clos", topo.NewClos(4, 4, topo.A100(), 2),
+			func() (*ir.Algorithm, error) { return expert.Build("hier-allreduce", 4, 4) }},
+		{"hier-4x4-rail", topo.NewRail(4, 4, topo.A100(), 4),
+			func() (*ir.Algorithm, error) { return expert.Build("hier-allreduce", 4, 4) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			algo, err := tc.algo()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tc.tp})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Topo: tc.tp, Kernel: plan.Kernel, BufferBytes: 32 << 20,
+				ChunkBytes: 1 << 20, RecordTimeline: true}
+			inc, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.FullResolve = true
+			full, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireIdentical(t, tc.name, inc, full)
+		})
+	}
+}
+
+// TestIncrementalMatchesFullResolveProtocols pins the equivalence under
+// every protocol tier — the tiers change per-chunk alpha/beta costs and
+// the effective chunking, exercising different event interleavings.
+func TestIncrementalMatchesFullResolveProtocols(t *testing.T) {
+	tp := topo.New(2, 8, topo.A100())
+	for _, proto := range []ir.Protocol{ir.ProtoLL, ir.ProtoLL128, ir.ProtoSimple} {
+		algo := &ir.Algorithm{Name: "eq-proto", Op: ir.OpAllReduce, NRanks: 16, NChunks: 16}
+		plan, err := backend.NewNCCL().Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: 8 << 20,
+			ChunkBytes: 1 << 20, RecordTimeline: true}
+		inc, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FullResolve = true
+		full, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, proto.String(), inc, full)
+	}
+}
+
+// TestIncrementalMatchesFullResolveUnderFaults drives both solvers
+// through seeded chaos-style fault schedules — link flaps, degrades and
+// stragglers force mid-flight capacity changes, the hardest case for
+// dirty-set bookkeeping.
+func TestIncrementalMatchesFullResolveUnderFaults(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	algo, err := expert.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Topo: tp, Kernel: plan.Kernel, BufferBytes: 32 << 20, ChunkBytes: 1 << 20}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		sched := fault.Generate(tp, fault.Params{
+			Seed: seed, N: 10, Horizon: clean.Completion,
+			MeanDuration: clean.Completion / 5, NTBs: len(plan.Kernel.TBs),
+		})
+		cfg := base
+		cfg.Faults = sched
+		inc, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FullResolve = true
+		full, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("seed %d", seed), inc, full)
+	}
+}
+
+// TestIncrementalMatchesFullResolveConcurrent covers multi-session
+// contention: sessions share fabric resources, so one session's
+// arrivals dirty components that span another's flows.
+func TestIncrementalMatchesFullResolveConcurrent(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	algo, err := expert.HMAllReduce(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := Session{Kernel: plan.Kernel, BufferBytes: 16 << 20, ChunkBytes: 1 << 20}
+	inc, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: []Session{ses, ses, ses}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RunConcurrent(MultiConfig{Topo: tp, Sessions: []Session{ses, ses, ses}, FullResolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Sessions) != len(full.Sessions) {
+		t.Fatalf("session count mismatch: %d vs %d", len(inc.Sessions), len(full.Sessions))
+	}
+	for i := range inc.Sessions {
+		requireIdentical(t, fmt.Sprintf("session %d", i), inc.Sessions[i], full.Sessions[i])
+	}
+	if inc.Completion != full.Completion {
+		t.Fatalf("overall completion differs: %.17g vs %.17g", inc.Completion, full.Completion)
+	}
+}

@@ -15,17 +15,41 @@ import (
 //
 // Rates are recomputed only for the connected component of flows reached
 // through shared resources, so the cost of a flow arrival/departure is
-// proportional to the local contention, not the cluster size. All
-// scratch state lives in the sim and is generation-stamped instead of
-// cleared, keeping the hot path allocation-free.
+// proportional to the local contention, not the cluster size.
+//
+// The solver is incremental along two axes:
+//
+//   - Event coalescing: discrete events cluster heavily on identical
+//     timestamps (symmetric plans finish whole waves of transfers at the
+//     same instant). Instead of re-solving after every event, handlers
+//     mark the perturbed resources dirty (markDirty) and the event loop
+//     flushes one progressive-filling solve per dirty connected
+//     component per unique timestamp (flushRates). This is exact, not
+//     approximate: zero simulated time elapses between same-timestamp
+//     events, rates are a pure function of the post-batch flow/resource
+//     state, and stale completion events are version-guarded — so the
+//     deferred solve produces bit-identical timings to the per-event
+//     reference (Config.FullResolve retains that reference path, and
+//     TestIncrementalMatchesFullResolve holds the two equal across the
+//     chaos corpus).
+//   - Filling compaction: within one solve, per-resource frozen load and
+//     unfrozen-member counts are cached and refreshed only for resources
+//     whose membership changed since the last round (always summing in
+//     membership order, so float results are independent of when the
+//     refresh happens), and fully frozen flows/resources drop out of the
+//     round scans entirely.
+//
+// All scratch state lives in the sim and is generation-stamped instead
+// of cleared, keeping the hot path allocation-free.
 
 type rateScratch struct {
 	gen int32
 	// Per-task component membership and index.
 	flowGen []int32
 	flowIdx []int32
-	// Per-resource component membership.
+	// Per-resource component membership and index.
 	resGen []int32
+	resIdx []int32
 	// Component working sets (reused).
 	flows     []gid
 	resources []topo.ResourceID
@@ -38,16 +62,70 @@ type rateScratch struct {
 	caps []float64
 	// resFlat/resOff give, for component resource i, the component flow
 	// indices on it: resFlat[resOff[i]:resOff[i+1]]. Precomputed so the
-	// filling loops stop re-walking s.resFlows[r] and re-translating
-	// global ids through flowIdx.
+	// filling loops stop re-walking the resource membership lists and
+	// re-translating global ids through flowIdx.
 	resFlat []int32
 	resOff  []int32
+	// Cached per-round filling state: resN[i] unfrozen members,
+	// resLoad[i] frozen load (summed in resFlat order), resDirty[i] set
+	// when a member froze since the last refresh. actRes/actFlows are
+	// the compacted not-yet-settled resource/flow index lists.
+	resN     []int32
+	resLoad  []float64
+	resDirty []bool
+	actRes   []int32
+	actFlows []int32
 }
 
 func (rs *rateScratch) init(nTasks, nResources int) {
 	rs.flowGen = make([]int32, nTasks)
 	rs.flowIdx = make([]int32, nTasks)
 	rs.resGen = make([]int32, nResources)
+	rs.resIdx = make([]int32, nResources)
+}
+
+// markDirty records that the given resources were perturbed (a flow
+// joined, left, or changed capability) and that their connected
+// components need a rate re-solve before simulated time advances. Under
+// Config.FullResolve the re-solve happens immediately instead — the
+// retained reference path the equivalence property test compares
+// against.
+func (s *sim) markDirty(seed []topo.ResourceID) {
+	if s.fullResolve {
+		s.recomputeAround(seed)
+		return
+	}
+	for _, r := range seed {
+		if s.dirtyMark[r] != s.dirtyGen {
+			s.dirtyMark[r] = s.dirtyGen
+			s.dirtySeeds = append(s.dirtySeeds, r)
+		}
+	}
+}
+
+// flushRates re-solves every connected component holding a dirty
+// resource, one progressive-filling pass per component (components are
+// independent: the max-min allocation of one cannot influence another).
+// Called by the event loop once per unique timestamp (and before the
+// run retires), never between same-timestamp events.
+func (s *sim) flushRates() {
+	if len(s.dirtySeeds) == 0 {
+		return
+	}
+	rs := &s.scratch
+	s.coveredGen++
+	for _, r := range s.dirtySeeds {
+		if s.coveredMark[r] == s.coveredGen {
+			continue // an earlier component in this flush swallowed it
+		}
+		s.seedOne[0] = r
+		s.recomputeAround(s.seedOne[:])
+		for _, cr := range rs.resources {
+			s.coveredMark[cr] = s.coveredGen
+		}
+	}
+	s.dirtySeeds = s.dirtySeeds[:0]
+	s.dirtyGen++
 }
 
 // recomputeComponent recomputes rates for the component containing task
@@ -74,8 +152,9 @@ func (s *sim) recomputeAround(seed []topo.ResourceID) {
 	for len(rs.queue) > 0 {
 		r := rs.queue[len(rs.queue)-1]
 		rs.queue = rs.queue[:len(rs.queue)-1]
+		rs.resIdx[r] = int32(len(rs.resources))
 		rs.resources = append(rs.resources, r)
-		for _, f := range s.resFlows[r] {
+		for _, f := range s.resFlowsOf(r) {
 			if rs.flowGen[f] == rs.gen {
 				continue
 			}
@@ -107,7 +186,17 @@ func (s *sim) recomputeAround(seed []topo.ResourceID) {
 	}
 }
 
+// nearlyEqual reports whether a and b agree to within a relative epsilon
+// of 1e-9 of the larger magnitude. Contract: both arguments are
+// non-negative rates; two exact zeros compare equal (diff and scale are
+// both zero, handled explicitly rather than relying on 0 <= 0 falling
+// through); a zero against any positive rate compares unequal, however
+// small the rate, because scale then equals the positive value and
+// diff == scale > 1e-9·scale.
 func nearlyEqual(a, b float64) bool {
+	if a == b {
+		return true // covers the both-zero case explicitly
+	}
 	diff := a - b
 	if diff < 0 {
 		diff = -diff
@@ -143,20 +232,20 @@ func (s *sim) maxMin() {
 	// be repeated inside the filling loops.
 	total := 0
 	for _, r := range rs.resources {
-		total += len(s.resFlows[r])
+		total += len(s.resFlowsOf(r))
 	}
 	rs.resOff = growInt32(rs.resOff, nr+1)
 	rs.resFlat = growInt32(rs.resFlat, total)
 	pos := 0
 	for i, r := range rs.resources {
 		rs.resOff[i] = int32(pos)
-		for _, f := range s.resFlows[r] {
+		for _, f := range s.resFlowsOf(r) {
 			rs.resFlat[pos] = rs.flowIdx[f]
 			pos++
 		}
 	}
 	rs.resOff[nr] = int32(pos)
-	resFlows := func(i int) []int32 { return rs.resFlat[rs.resOff[i]:rs.resOff[i+1]] }
+	resFlows := func(i int32) []int32 { return rs.resFlat[rs.resOff[i]:rs.resOff[i+1]] }
 
 	// Effective capacities with the Eq. 1 contention penalty. A single
 	// over-capable TB simply runs at link rate; contention needs ≥2
@@ -169,7 +258,7 @@ func (s *sim) maxMin() {
 		if s.fault != nil {
 			c *= s.fault.capFactor[r]
 		}
-		if flows := resFlows(i); s.topo.Kind(r) == topo.KindSerialLink && len(flows) > 1 {
+		if flows := resFlows(int32(i)); s.topo.Kind(r) == topo.KindSerialLink && len(flows) > 1 {
 			demand := 0.0
 			for _, fi := range flows {
 				demand += rs.caps[fi]
@@ -185,40 +274,93 @@ func (s *sim) maxMin() {
 		rs.effCap[i] = c
 	}
 
+	// Cached filling state. The frozen load of a resource only changes
+	// when one of its members freezes; refresh() recomputes it lazily —
+	// always summing in resFlat (membership) order, so the float value
+	// is identical no matter which round triggers the refresh — and the
+	// active lists let settled flows and resources drop out of the
+	// round scans.
+	rs.resN = growInt32(rs.resN, nr)
+	rs.resLoad = grow(rs.resLoad, nr)
+	rs.resDirty = resizeBool(rs.resDirty, nr)
+	rs.actRes = growInt32(rs.actRes, nr)
+	rs.actFlows = growInt32(rs.actFlows, nf)
+	for i := 0; i < nr; i++ {
+		rs.resN[i] = rs.resOff[i+1] - rs.resOff[i]
+		rs.resLoad[i] = 0
+		rs.actRes[i] = int32(i)
+	}
+	for i := 0; i < nf; i++ {
+		rs.actFlows[i] = int32(i)
+	}
+	actRes := rs.actRes[:nr]
+	actFlows := rs.actFlows[:nf]
+	refresh := func(i int32) {
+		if !rs.resDirty[i] {
+			return
+		}
+		load, n := 0.0, int32(0)
+		for _, fi := range resFlows(i) {
+			if rs.frozen[fi] {
+				load += rs.rates[fi]
+			} else {
+				n++
+			}
+		}
+		rs.resLoad[i] = load
+		rs.resN[i] = n
+		rs.resDirty[i] = false
+	}
+	// freeze settles flow fi at rate v and invalidates the cached state
+	// of every resource it sits on.
+	freeze := func(fi int32, v float64) {
+		rs.rates[fi] = v
+		rs.frozen[fi] = true
+		for _, r := range s.tasks[rs.flows[fi]].resources {
+			rs.resDirty[rs.resIdx[r]] = true
+		}
+	}
+
 	unfrozen := nf
 	rho := 0.0
 	const inf = 1e300
 
 	for unfrozen > 0 {
-		// Next saturation level across resources and flow caps.
+		// Next saturation level across resources and flow caps. Fully
+		// frozen resources are compacted out of the active list as the
+		// scan encounters them (swap-remove keeps the scan linear; min
+		// is order-independent, so compaction cannot change the level).
 		next := inf
-		for i := 0; i < nr; i++ {
-			frozenLoad := 0.0
-			n := 0
-			for _, fi := range resFlows(i) {
-				if rs.frozen[fi] {
-					frozenLoad += rs.rates[fi]
-				} else {
-					n++
-				}
-			}
-			if n == 0 {
+		for i := 0; i < len(actRes); {
+			ri := actRes[i]
+			refresh(ri)
+			if rs.resN[ri] == 0 {
+				actRes[i] = actRes[len(actRes)-1]
+				actRes = actRes[:len(actRes)-1]
 				continue
 			}
-			if sat := (rs.effCap[i] - frozenLoad) / float64(n); sat < next {
+			if sat := (rs.effCap[ri] - rs.resLoad[ri]) / float64(rs.resN[ri]); sat < next {
 				next = sat
 			}
+			i++
 		}
-		for i := 0; i < nf; i++ {
-			if !rs.frozen[i] && rs.caps[i] < next {
-				next = rs.caps[i]
+		for i := 0; i < len(actFlows); {
+			fi := actFlows[i]
+			if rs.frozen[fi] {
+				actFlows[i] = actFlows[len(actFlows)-1]
+				actFlows = actFlows[:len(actFlows)-1]
+				continue
 			}
+			if rs.caps[fi] < next {
+				next = rs.caps[fi]
+			}
+			i++
 		}
 		if next >= inf {
-			for i := 0; i < nf; i++ {
-				if !rs.frozen[i] {
-					rs.rates[i] = rs.caps[i]
-					rs.frozen[i] = true
+			for _, fi := range actFlows {
+				if !rs.frozen[fi] {
+					rs.rates[fi] = rs.caps[fi]
+					rs.frozen[fi] = true
 					unfrozen--
 				}
 			}
@@ -230,38 +372,39 @@ func (s *sim) maxMin() {
 		rho = next
 		progress := false
 		// Freeze flows capped at rho.
-		for i := 0; i < nf; i++ {
-			if !rs.frozen[i] && rs.caps[i] <= rho*(1+1e-12) {
-				rs.rates[i] = rs.caps[i]
-				rs.frozen[i] = true
-				unfrozen--
-				progress = true
-			}
-		}
-		// Freeze flows on saturated resources.
-		for i := 0; i < nr; i++ {
-			frozenLoad := 0.0
-			n := 0
-			for _, fi := range resFlows(i) {
-				if rs.frozen[fi] {
-					frozenLoad += rs.rates[fi]
-				} else {
-					n++
+		for i := 0; i < len(actFlows); {
+			fi := actFlows[i]
+			if rs.frozen[fi] || rs.caps[fi] <= rho*(1+1e-12) {
+				if !rs.frozen[fi] {
+					freeze(fi, rs.caps[fi])
+					unfrozen--
+					progress = true
 				}
-			}
-			if n == 0 {
+				actFlows[i] = actFlows[len(actFlows)-1]
+				actFlows = actFlows[:len(actFlows)-1]
 				continue
 			}
-			if frozenLoad+float64(n)*rho >= rs.effCap[i]*(1-1e-12) {
-				for _, fi := range resFlows(i) {
+			i++
+		}
+		// Freeze flows on saturated resources.
+		for i := 0; i < len(actRes); {
+			ri := actRes[i]
+			refresh(ri)
+			if rs.resN[ri] == 0 {
+				actRes[i] = actRes[len(actRes)-1]
+				actRes = actRes[:len(actRes)-1]
+				continue
+			}
+			if rs.resLoad[ri]+float64(rs.resN[ri])*rho >= rs.effCap[ri]*(1-1e-12) {
+				for _, fi := range resFlows(ri) {
 					if !rs.frozen[fi] {
-						rs.rates[fi] = rho
-						rs.frozen[fi] = true
+						freeze(fi, rho)
 						unfrozen--
 						progress = true
 					}
 				}
 			}
+			i++
 		}
 		if !progress {
 			// Numerical corner: freeze everything at rho to terminate.

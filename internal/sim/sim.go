@@ -48,6 +48,13 @@ type Config struct {
 	// (trace.RenderTimeline). Off by default: large runs produce many
 	// segments.
 	RecordTimeline bool
+	// FullResolve disables the coalesced incremental rate solver and
+	// re-solves max-min rates eagerly after every event — the retained
+	// reference implementation. Timings are bit-identical either way
+	// (the equivalence property test enforces it); the reference path
+	// exists for debugging and as the oracle in that test, not for
+	// production use.
+	FullResolve bool
 }
 
 // Session is one kernel participating in a concurrent run.
@@ -65,6 +72,9 @@ type MultiConfig struct {
 	Congestion     map[topo.ResourceID]float64
 	Faults         *fault.Schedule
 	RecordTimeline bool
+	// FullResolve selects the eager per-event reference rate solver; see
+	// Config.FullResolve.
+	FullResolve bool
 }
 
 // Plan describes the derived micro-batch geometry of a run.
@@ -213,6 +223,7 @@ func Run(cfg Config) (*Result, error) {
 		Congestion:     cfg.Congestion,
 		Faults:         cfg.Faults,
 		RecordTimeline: cfg.RecordTimeline,
+		FullResolve:    cfg.FullResolve,
 	})
 	if err != nil {
 		return nil, err
@@ -413,14 +424,33 @@ type sim struct {
 	tbs   []*tbState
 	tasks []taskState
 
-	// resFlows[res] lists tasks (global ids) with an active flow on the
-	// resource.
-	resFlows [][]gid
+	// Active-flow membership per resource, stored as a CSR arena sized
+	// from the plans at construction: resource r's active flows live in
+	// resArena[resSlot[r] : resSlot[r]+resCnt[r]], with capacity equal to
+	// the number of tasks whose path crosses r (a task has at most one
+	// in-flight instance, so that bound is exact). Joining and leaving a
+	// resource is a write/swap-remove into the arena — no slice growth,
+	// no per-resource headers.
+	resArena []gid
+	resSlot  []int32
+	resCnt   []int32
 	// resBusy accounting.
 	resBusy      []float64
 	resActiveCnt []int
 	resBusyStart []float64
 	usedLinks    map[topo.LinkID]struct{}
+
+	// Deferred-solve state (rates.go): resources perturbed at the
+	// current timestamp, deduplicated by a generation mark, plus the
+	// per-flush component-coverage marks. fullResolve switches to the
+	// eager reference solver.
+	dirtySeeds  []topo.ResourceID
+	dirtyMark   []int32
+	dirtyGen    int32
+	coveredMark []int32
+	coveredGen  int32
+	seedOne     [1]topo.ResourceID
+	fullResolve bool
 
 	doneTBs int
 	// processed counts events handled by run().
@@ -445,11 +475,15 @@ func newSim(cfg MultiConfig) *sim {
 	s := &sim{
 		cfg:          cfg,
 		topo:         t,
-		resFlows:     make([][]gid, t.NResources()),
 		resBusy:      make([]float64, t.NResources()),
 		resActiveCnt: make([]int, t.NResources()),
 		resBusyStart: make([]float64, t.NResources()),
 		usedLinks:    make(map[topo.LinkID]struct{}),
+		dirtyMark:    make([]int32, t.NResources()),
+		coveredMark:  make([]int32, t.NResources()),
+		dirtyGen:     1,
+		coveredGen:   0,
+		fullResolve:  cfg.FullResolve,
 	}
 	if len(cfg.Congestion) > 0 {
 		s.congestion = make([]float64, t.NResources())
@@ -526,8 +560,47 @@ func newSim(cfg MultiConfig) *sim {
 		taskOff += gid(se.nTasks)
 		tbOff += se.nTBs
 	}
+	// Size the flow-membership arena from the plans: each resource gets
+	// exactly as many slots as tasks crossing it.
+	s.resSlot = make([]int32, t.NResources()+1)
+	s.resCnt = make([]int32, t.NResources())
+	for i := range s.tasks {
+		for _, r := range s.tasks[i].resources {
+			s.resSlot[r+1]++
+		}
+	}
+	for r := 1; r < len(s.resSlot); r++ {
+		s.resSlot[r] += s.resSlot[r-1]
+	}
+	s.resArena = make([]gid, s.resSlot[len(s.resSlot)-1])
 	s.scratch.init(totalTasks, t.NResources())
 	return s
+}
+
+// resFlowsOf returns the tasks (global ids) with an active flow on the
+// resource, in join order (departures swap-remove).
+func (s *sim) resFlowsOf(r topo.ResourceID) []gid {
+	off := s.resSlot[r]
+	return s.resArena[off : off+s.resCnt[r]]
+}
+
+// joinResource adds task t's flow to resource r's membership.
+func (s *sim) joinResource(r topo.ResourceID, t gid) {
+	s.resArena[s.resSlot[r]+s.resCnt[r]] = t
+	s.resCnt[r]++
+}
+
+// leaveResource removes task t's flow from resource r's membership.
+func (s *sim) leaveResource(r topo.ResourceID, t gid) {
+	off, n := s.resSlot[r], s.resCnt[r]
+	list := s.resArena[off : off+n]
+	for i, x := range list {
+		if x == t {
+			list[i] = list[n-1]
+			s.resCnt[r] = n - 1
+			return
+		}
+	}
 }
 
 // sess returns the session owning a global task id.
@@ -577,12 +650,20 @@ func (s *sim) run() error {
 			s.enterDataPhase(e.task)
 		case evDataDone:
 			ts := &s.tasks[e.task]
-			if !ts.active || ts.version != e.version {
-				continue // stale: rates changed since this event was scheduled
+			if ts.active && ts.version == e.version {
+				s.finishInstance(e.task)
 			}
-			s.finishInstance(e.task)
+			// else stale: rates changed since this event was scheduled
 		case evFault:
 			s.applyFaultBound(int(e.task))
+		}
+		// Rate solves are deferred while events share a timestamp: zero
+		// simulated time elapses between them, so one solve over the
+		// final state of the batch is exact (rates.go). Flushing may
+		// schedule further events at the current instant (a drained flow
+		// completes "now"), which simply extends the batch.
+		if s.events.Len() == 0 || s.events[0].time != s.now {
+			s.flushRates()
 		}
 	}
 	s.processed = processed
@@ -681,8 +762,8 @@ func (s *sim) tryStart(t gid) {
 	s.push(event{time: s.now + lat, kind: evLatencyDone, task: t})
 }
 
-// enterDataPhase joins the flow to its resources and recomputes rates in
-// the affected component.
+// enterDataPhase joins the flow to its resources and marks the affected
+// component for a rate re-solve.
 func (s *sim) enterDataPhase(t gid) {
 	ts := &s.tasks[t]
 	se := s.sess(t)
@@ -691,9 +772,9 @@ func (s *sim) enterDataPhase(t gid) {
 	ts.lastUpdate = s.now
 	ts.rate = 0
 	for _, r := range ts.resources {
-		s.resFlows[r] = append(s.resFlows[r], t)
+		s.joinResource(r, t)
 	}
-	s.recomputeComponent(t)
+	s.markDirty(ts.resources)
 }
 
 // finishInstance completes the pending invocation of task t: leave the
@@ -702,7 +783,7 @@ func (s *sim) finishInstance(t gid) {
 	ts := &s.tasks[t]
 	se := s.sess(t)
 	for _, r := range ts.resources {
-		s.resFlows[r] = removeTask(s.resFlows[r], t)
+		s.leaveResource(r, t)
 		s.resActiveCnt[r]--
 		if s.resActiveCnt[r] == 0 {
 			s.resBusy[r] += s.now - s.resBusyStart[r]
@@ -716,7 +797,7 @@ func (s *sim) finishInstance(t gid) {
 	se.instances++
 
 	// Rates of former sharers may rise.
-	s.recomputeAround(ts.resources)
+	s.markDirty(ts.resources)
 
 	sendTB := s.tbs[se.tbOff+se.k.SendTB[ts.local]]
 	recvTB := s.tbs[se.tbOff+se.k.RecvTB[ts.local]]
@@ -779,16 +860,6 @@ func (s *sim) finishInstance(t gid) {
 			}
 		}
 	}
-}
-
-func removeTask(list []gid, t gid) []gid {
-	for i, x := range list {
-		if x == t {
-			list[i] = list[len(list)-1]
-			return list[:len(list)-1]
-		}
-	}
-	return list
 }
 
 func (s *sim) deadlockError() error {

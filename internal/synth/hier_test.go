@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/resccl/resccl/internal/collective"
+	"github.com/resccl/resccl/internal/ir"
+)
+
+// Hierarchical AllReduce must be data-plane correct on small shapes,
+// including non-power-of-two node counts (the binomial trees must
+// handle ragged depths) and asymmetric gpn.
+func TestHierAllReduceCorrect(t *testing.T) {
+	for _, c := range [][2]int{{2, 2}, {2, 4}, {3, 4}, {4, 4}, {5, 3}, {4, 8}, {8, 2}} {
+		a, err := HierAllReduce(c[0], c[1])
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if err := collective.Check(a); err != nil {
+			t.Errorf("nodes=%d gpn=%d: %v", c[0], c[1], err)
+		}
+	}
+}
+
+// Plan size must grow linearly in node count at fixed gpn — the whole
+// reason the composition exists. Exact count: two intra-node phases of
+// nNodes·gpn·(gpn−1) transfers each, plus one rail reduce tree and one
+// rail broadcast tree of gpn·(nNodes−1) transfers each.
+func TestHierAllReduceLinearSize(t *testing.T) {
+	for _, c := range [][2]int{{2, 4}, {8, 4}, {64, 8}, {512, 8}} {
+		nodes, gpn := c[0], c[1]
+		a, err := HierAllReduce(nodes, gpn)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		want := 2*nodes*gpn*(gpn-1) + 2*gpn*(nodes-1)
+		if got := len(a.Transfers); got != want {
+			t.Errorf("nodes=%d gpn=%d: %d transfers, want %d", nodes, gpn, got, want)
+		}
+		if a.NChunks != gpn {
+			t.Errorf("nodes=%d gpn=%d: NChunks = %d, want %d (one chunk per rail)", nodes, gpn, a.NChunks, gpn)
+		}
+	}
+}
+
+// Every inter-node transfer must stay on its rail: src and dst share
+// the same local index, so on a rail-optimized fabric no hierarchical
+// traffic ever climbs to the spine tier.
+func TestHierAllReduceRailAligned(t *testing.T) {
+	const nodes, gpn = 6, 4
+	a, err := HierAllReduce(nodes, gpn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range a.Transfers {
+		if int(tr.Src)/gpn == int(tr.Dst)/gpn {
+			continue
+		}
+		if int(tr.Src)%gpn != int(tr.Dst)%gpn {
+			t.Fatalf("inter-node transfer %d→%d crosses rails (locals %d and %d)",
+				tr.Src, tr.Dst, int(tr.Src)%gpn, int(tr.Dst)%gpn)
+		}
+		if int(tr.Chunk) != int(tr.Src)%gpn {
+			t.Fatalf("inter-node transfer %d→%d carries chunk %d off rail %d",
+				tr.Src, tr.Dst, tr.Chunk, int(tr.Src)%gpn)
+		}
+	}
+}
+
+// Degenerate shapes must be rejected, not mis-built: the plan-lint CI
+// matrix relies on the error (exit 1 = shape unsupported, skipped).
+func TestHierAllReduceRejectsDegenerate(t *testing.T) {
+	for _, c := range [][2]int{{1, 8}, {0, 4}, {2, 1}, {4, 0}} {
+		if _, err := HierAllReduce(c[0], c[1]); err == nil {
+			t.Errorf("nodes=%d gpn=%d: expected an error", c[0], c[1])
+		}
+	}
+}
+
+// The generated algorithm must carry valid metadata for the registry.
+func TestHierAllReduceMetadata(t *testing.T) {
+	a, err := HierAllReduce(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Op != ir.OpAllReduce || a.NRanks != 16 {
+		t.Errorf("metadata: op=%v nranks=%d, want AllReduce/16", a.Op, a.NRanks)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

@@ -153,6 +153,14 @@ func V100() Profile {
 // Topology is an immutable description of one cluster: NNodes servers of
 // GPUsPerNode GPUs each, NICsPerNode NICs per server (GPUs share NICs
 // evenly), ServersPerRack servers under each ToR switch.
+//
+// Flat topologies (New) model the inter-node fabric as non-blocking
+// beyond the NIC queues. Multi-tier topologies (NewClos, NewRail) add an
+// explicit leaf/spine tier: every rack owns one uplink/downlink resource
+// pair per spine, cross-rack paths traverse the deterministically chosen
+// spine, and carving a spine link reroutes paths over the surviving
+// spines (Path probes in deterministic order), so replanning survives
+// spine failures.
 type Topology struct {
 	Profile
 
@@ -161,10 +169,29 @@ type Topology struct {
 	NICsPerNode    int
 	ServersPerRack int
 
+	// NSpines is the number of spine switches above the rack (ToR/leaf)
+	// tier; 0 on flat topologies built with New.
+	NSpines int
+	// SpineBW is the capacity of one rack↔spine link in bytes/s (only
+	// meaningful when NSpines > 0; defaults to full bisection: the
+	// rack's aggregate NIC bandwidth divided across its spine uplinks).
+	SpineBW float64
+	// RailOptimized marks rail-striped fabrics (NewRail): every GPU owns
+	// a NIC, NICs with the same local index form a rail joined by one
+	// rail switch spanning all nodes, and same-rail traffic bypasses the
+	// spine tier entirely — even across racks.
+	RailOptimized bool
+
 	nRanks    int
 	totalNICs int
-	// Resource layout offsets.
+	nRacks    int
+	// Resource layout offsets. Pair channels exist per ordered
+	// same-node GPU pair only (NNodes·GPUsPerNode² resources, not
+	// NRanks²): cross-node transfers never touch a pair channel, and a
+	// quadratic pair space would make 4096-rank topologies allocate
+	// tens of millions of resource slots.
 	offEgress, offIngress, offNICEg, offNICIn, offPair int
+	offSpineUp, offSpineDown                           int
 	nResources                                         int
 
 	// Dead sets of a carved (degraded) topology; nil on healthy
@@ -183,12 +210,35 @@ func WithNICs(n int) Option { return func(t *Topology) { t.NICsPerNode = n } }
 // WithServersPerRack overrides how many servers share a ToR (default 2).
 func WithServersPerRack(n int) Option { return func(t *Topology) { t.ServersPerRack = n } }
 
-// New builds a topology of nNodes servers with gpusPerNode GPUs each
-// under the given hardware profile. It panics on non-positive dimensions;
-// construction parameters are programmer input, not runtime data.
+// WithSpineBW overrides the per rack↔spine link bandwidth of a
+// multi-tier topology (default: full bisection).
+func WithSpineBW(bw float64) Option { return func(t *Topology) { t.SpineBW = bw } }
+
+// New builds a flat topology of nNodes servers with gpusPerNode GPUs
+// each under the given hardware profile. It panics on non-positive
+// dimensions; construction parameters are programmer input, not runtime
+// data.
 func New(nNodes, gpusPerNode int, p Profile, opts ...Option) *Topology {
-	if nNodes < 1 || gpusPerNode < 1 {
-		panic(fmt.Sprintf("topo: invalid dimensions %d nodes × %d GPUs", nNodes, gpusPerNode))
+	t := &Topology{
+		Profile:        p,
+		NNodes:         nNodes,
+		GPUsPerNode:    gpusPerNode,
+		NICsPerNode:    max(1, gpusPerNode/2),
+		ServersPerRack: 2,
+	}
+	t.finish(nNodes, gpusPerNode, opts)
+	return t
+}
+
+// NewClos builds a multi-tier Clos topology: racks of ServersPerRack
+// servers under leaf (ToR) switches, joined by nSpines spine switches.
+// Cross-rack paths traverse one rack-uplink and one rack-downlink spine
+// resource chosen deterministically per (source rack, destination rack,
+// source NIC) — an ECMP-style stripe — and fail over to surviving
+// spines on carved topologies.
+func NewClos(nNodes, gpusPerNode int, p Profile, nSpines int, opts ...Option) *Topology {
+	if nSpines < 1 {
+		panic(fmt.Sprintf("topo: clos needs ≥1 spine, got %d", nSpines))
 	}
 	t := &Topology{
 		Profile:        p,
@@ -196,6 +246,45 @@ func New(nNodes, gpusPerNode int, p Profile, opts ...Option) *Topology {
 		GPUsPerNode:    gpusPerNode,
 		NICsPerNode:    max(1, gpusPerNode/2),
 		ServersPerRack: 2,
+		NSpines:        nSpines,
+	}
+	t.finish(nNodes, gpusPerNode, opts)
+	return t
+}
+
+// NewRail builds a rail-optimized multi-tier topology: every GPU owns a
+// NIC, the NICs with local index r across all nodes form rail r joined
+// by one non-blocking rail switch, and only cross-rail traffic climbs
+// to the nSpines spine tier. Same-rail inter-node paths therefore stay
+// single-hop (no cross-rack latency, no spine resources) no matter how
+// many racks apart the endpoints are — the NIC queues alone serialize
+// them.
+func NewRail(nNodes, gpusPerNode int, p Profile, nSpines int, opts ...Option) *Topology {
+	if nSpines < 1 {
+		panic(fmt.Sprintf("topo: rail fabric needs ≥1 spine, got %d", nSpines))
+	}
+	t := &Topology{
+		Profile:        p,
+		NNodes:         nNodes,
+		GPUsPerNode:    gpusPerNode,
+		NICsPerNode:    gpusPerNode, // rail striping: one NIC per GPU
+		ServersPerRack: 2,
+		NSpines:        nSpines,
+		RailOptimized:  true,
+	}
+	t.finish(nNodes, gpusPerNode, opts)
+	if t.NICsPerNode != gpusPerNode {
+		panic(fmt.Sprintf("topo: rail fabric requires one NIC per GPU, got %d NICs for %d GPUs/node",
+			t.NICsPerNode, gpusPerNode))
+	}
+	return t
+}
+
+// finish applies options, validates dimensions and computes the dense
+// resource layout shared by all constructors.
+func (t *Topology) finish(nNodes, gpusPerNode int, opts []Option) {
+	if nNodes < 1 || gpusPerNode < 1 {
+		panic(fmt.Sprintf("topo: invalid dimensions %d nodes × %d GPUs", nNodes, gpusPerNode))
 	}
 	for _, o := range opts {
 		o(t)
@@ -208,13 +297,20 @@ func New(nNodes, gpusPerNode int, p Profile, opts ...Option) *Topology {
 	}
 	t.nRanks = nNodes * gpusPerNode
 	t.totalNICs = nNodes * t.NICsPerNode
+	t.nRacks = (nNodes + t.ServersPerRack - 1) / t.ServersPerRack
+	if t.NSpines > 0 && t.SpineBW <= 0 {
+		// Full bisection: a rack's aggregate NIC bandwidth spread across
+		// its spine uplinks.
+		t.SpineBW = float64(t.ServersPerRack*t.NICsPerNode) * t.NICBW / float64(t.NSpines)
+	}
 	t.offEgress = 0
 	t.offIngress = t.nRanks
 	t.offNICEg = 2 * t.nRanks
 	t.offNICIn = t.offNICEg + t.totalNICs
 	t.offPair = t.offNICIn + t.totalNICs
-	t.nResources = t.offPair + t.nRanks*t.nRanks
-	return t
+	t.offSpineUp = t.offPair + nNodes*gpusPerNode*gpusPerNode
+	t.offSpineDown = t.offSpineUp + t.nRacks*t.NSpines
+	t.nResources = t.offSpineDown + t.nRacks*t.NSpines
 }
 
 // NRanks is the total number of GPUs.
@@ -273,10 +369,31 @@ func (t *Topology) NICEgress(n int) ResourceID { return ResourceID(t.offNICEg + 
 // NICIngress returns the ingress resource of global NIC n.
 func (t *Topology) NICIngress(n int) ResourceID { return ResourceID(t.offNICIn + n) }
 
-// PairLink returns the point-to-point channel resource for src→dst. This
-// is the intra-node "communication link" of §3.
+// PairLink returns the point-to-point channel resource for src→dst —
+// the intra-node "communication link" of §3. Pair channels exist for
+// same-node pairs only (cross-node transfers serialize on NIC queues,
+// never on a pair channel); asking for a cross-node pair is a plan
+// construction bug and panics.
 func (t *Topology) PairLink(src, dst ir.Rank) ResourceID {
-	return ResourceID(t.offPair + int(src)*t.nRanks + int(dst))
+	if !t.SameNode(src, dst) {
+		panic(fmt.Sprintf("topo: pair link %d→%d crosses nodes", src, dst))
+	}
+	g := t.GPUsPerNode
+	return ResourceID(t.offPair + (t.Node(src)*g+t.LocalIndex(src))*g + t.LocalIndex(dst))
+}
+
+// NRacks returns the number of racks (leaf/ToR switches).
+func (t *Topology) NRacks() int { return t.nRacks }
+
+// SpineUp returns the rack→spine uplink resource (multi-tier
+// topologies only; callers must keep s within [0, NSpines)).
+func (t *Topology) SpineUp(rack, s int) ResourceID {
+	return ResourceID(t.offSpineUp + rack*t.NSpines + s)
+}
+
+// SpineDown returns the spine→rack downlink resource.
+func (t *Topology) SpineDown(rack, s int) ResourceID {
+	return ResourceID(t.offSpineDown + rack*t.NSpines + s)
 }
 
 // Capacity returns a resource's bandwidth in bytes/s.
@@ -286,8 +403,10 @@ func (t *Topology) Capacity(res ResourceID) float64 {
 		return t.NVLinkBW
 	case int(res) < t.offPair:
 		return t.NICBW
-	default:
+	case int(res) < t.offSpineUp:
 		return t.NVLinkBW
+	default:
+		return t.SpineBW
 	}
 }
 
@@ -312,9 +431,17 @@ func (t *Topology) DescribeResource(res ResourceID) string {
 		return fmt.Sprintf("nic-egress(%d)", i-t.offNICEg)
 	case i < t.offPair:
 		return fmt.Sprintf("nic-ingress(%d)", i-t.offNICIn)
-	default:
+	case i < t.offSpineUp:
 		p := i - t.offPair
-		return fmt.Sprintf("pair(%d→%d)", p/t.nRanks, p%t.nRanks)
+		g := t.GPUsPerNode
+		node := p / (g * g)
+		return fmt.Sprintf("pair(%d→%d)", node*g+(p/g)%g, node*g+p%g)
+	case i < t.offSpineDown:
+		p := i - t.offSpineUp
+		return fmt.Sprintf("spine-up(rack%d→spine%d)", p/t.NSpines, p%t.NSpines)
+	default:
+		p := i - t.offSpineDown
+		return fmt.Sprintf("spine-down(spine%d→rack%d)", p%t.NSpines, p/t.NSpines)
 	}
 }
 
@@ -353,19 +480,49 @@ func (t *Topology) Path(src, dst ir.Rank) Path {
 			CommLinks: []ResourceID{pair},
 		}
 	}
-	alpha := t.LatInter
-	if t.Rack(t.Node(src)) != t.Rack(t.Node(dst)) {
-		alpha += t.LatCrossRack
-	}
 	eg := t.NICEgress(t.NIC(src))
 	in := t.NICIngress(t.NIC(dst))
+	alpha := t.LatInter
+	crossRack := t.Rack(t.Node(src)) != t.Rack(t.Node(dst))
+	// Same-rail traffic on a rail-optimized fabric stays on the rail
+	// switch: one hop regardless of rack, no spine traversal.
+	sameRail := t.RailOptimized && t.LocalIndex(src) == t.LocalIndex(dst)
+	if crossRack && !sameRail {
+		alpha += t.LatCrossRack
+	}
+	resources := []ResourceID{eg, in}
+	if t.NSpines > 0 && crossRack && !sameRail {
+		srcRack, dstRack := t.Rack(t.Node(src)), t.Rack(t.Node(dst))
+		s := t.spineFor(srcRack, dstRack, src)
+		resources = []ResourceID{eg, t.SpineUp(srcRack, s), t.SpineDown(dstRack, s), in}
+	}
 	return Path{
 		Src: src, Dst: dst, Intra: false,
 		Alpha:     alpha,
 		TBCap:     t.TBCapInter,
-		Resources: []ResourceID{eg, in},
+		Resources: resources,
 		CommLinks: []ResourceID{eg, in},
 	}
+}
+
+// spineFor picks the spine carrying srcRack→dstRack traffic from the
+// given source: a deterministic ECMP-style stripe over (rack pair,
+// source NIC), failing over in deterministic probe order to a spine
+// whose uplink and downlink both survived carving. When every spine is
+// dead for the pair the home spine is returned — the path is then dead
+// and PathAlive reports it.
+func (t *Topology) spineFor(srcRack, dstRack int, src ir.Rank) int {
+	h := (srcRack*131 + dstRack*137 + t.NIC(src)) % t.NSpines
+	if len(t.deadRes) == 0 {
+		return h
+	}
+	for i := 0; i < t.NSpines; i++ {
+		s := (h + i) % t.NSpines
+		if !t.deadRes[t.SpineUp(srcRack, s)] && !t.deadRes[t.SpineDown(dstRack, s)] {
+			return s
+		}
+	}
+	return h
 }
 
 // LinkWindow returns how many transmission tasks driven by thread
@@ -388,16 +545,19 @@ func (t *Topology) LinkWindow(l ResourceID, tbCap float64) int {
 
 // RankResources lists the capacity resources that belong exclusively to
 // rank r: its NVSwitch ports and every point-to-point channel touching
-// it. NIC queues are shared with the other ranks of the NIC and are not
-// included — a dead rank does not take its neighbours' NIC down.
+// it (pair channels exist to same-node peers only). NIC queues are
+// shared with the other ranks of the NIC and are not included — a dead
+// rank does not take its neighbours' NIC down.
 func (t *Topology) RankResources(r ir.Rank) []ResourceID {
-	out := make([]ResourceID, 0, 2+2*(t.nRanks-1))
+	out := make([]ResourceID, 0, 2*t.GPUsPerNode)
 	out = append(out, t.EgressPort(r), t.IngressPort(r))
-	for q := 0; q < t.nRanks; q++ {
-		if ir.Rank(q) == r {
+	node := t.Node(r)
+	for l := 0; l < t.GPUsPerNode; l++ {
+		q := ir.Rank(node*t.GPUsPerNode + l)
+		if q == r {
 			continue
 		}
-		out = append(out, t.PairLink(r, ir.Rank(q)), t.PairLink(ir.Rank(q), r))
+		out = append(out, t.PairLink(r, q), t.PairLink(q, r))
 	}
 	return out
 }
@@ -482,6 +642,14 @@ func (c Connection) String() string { return fmt.Sprintf("%d→%d", c.Src, c.Dst
 
 // String summarises the topology.
 func (t *Topology) String() string {
-	return fmt.Sprintf("%s: %d nodes × %d GPUs (%d ranks, %d NICs/node, %d servers/rack)",
+	base := fmt.Sprintf("%s: %d nodes × %d GPUs (%d ranks, %d NICs/node, %d servers/rack)",
 		t.Profile.Name, t.NNodes, t.GPUsPerNode, t.nRanks, t.NICsPerNode, t.ServersPerRack)
+	if t.NSpines > 0 {
+		kind := "clos"
+		if t.RailOptimized {
+			kind = "rail"
+		}
+		base += fmt.Sprintf(", %s: %d racks × %d spines", kind, t.nRacks, t.NSpines)
+	}
+	return base
 }

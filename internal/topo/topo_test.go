@@ -139,7 +139,9 @@ func TestResourceIDsDisjoint(t *testing.T) {
 	}
 	for a := 0; a < tp.NRanks(); a++ {
 		for b := 0; b < tp.NRanks(); b++ {
-			add(tp.PairLink(ir.Rank(a), ir.Rank(b)), "pair")
+			if tp.SameNode(ir.Rank(a), ir.Rank(b)) {
+				add(tp.PairLink(ir.Rank(a), ir.Rank(b)), "pair")
+			}
 		}
 	}
 	for id := range seen {
@@ -221,7 +223,8 @@ func TestDescribeResource(t *testing.T) {
 		tp.IngressPort(5): "nv-ingress(gpu5)",
 		tp.NICEgress(1):   "nic-egress(1)",
 		tp.NICIngress(2):  "nic-ingress(2)",
-		tp.PairLink(1, 6): "pair(1→6)",
+		tp.PairLink(1, 3): "pair(1→3)",
+		tp.PairLink(5, 6): "pair(5→6)",
 	}
 	for res, want := range cases {
 		if got := tp.DescribeResource(res); got != want {
