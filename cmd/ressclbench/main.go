@@ -73,10 +73,28 @@ func main() {
 		metricsJSON = flag.String("metrics-json", "", "write the counters/gauges registry as JSON to this path")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile taken at exit to this path")
+
+		serveLoad     = flag.Bool("serve-load", false, "run the plan-service load generator instead of simulation experiments")
+		serveURL      = flag.String("serve-url", "", "target a running ressclserve instance; empty self-hosts an in-process service")
+		serveClients  = flag.Int("serve-clients", 8, "concurrent load-generator clients for -serve-load")
+		serveTenants  = flag.Int("serve-tenants", 4, "distinct tenant IDs for -serve-load")
+		serveRequests = flag.Int("serve-requests", 200, "total requests for -serve-load")
+		serveWorkers  = flag.Int("serve-workers", 4, "compile slots of the self-hosted service for -serve-load")
 	)
 	flag.Parse()
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
+
+	if *serveLoad {
+		runServeLoad(bench.ServeLoadOptions{
+			URL:      *serveURL,
+			Clients:  *serveClients,
+			Tenants:  *serveTenants,
+			Requests: *serveRequests,
+			Workers:  *serveWorkers,
+		}, *benchJSON)
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -235,4 +253,39 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "perf record written to %s\n", *benchJSON)
+}
+
+// runServeLoad drives the plan-service load generator. Service timings
+// are load- and host-dependent, so the record goes to its own file
+// (BENCH_serve.json by convention), never the deterministic baseline
+// the bench gate compares.
+func runServeLoad(opts bench.ServeLoadOptions, benchJSON string) {
+	rec, err := bench.ServeLoad(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serve-load: %s — %d requests (%d clients, %d tenants): %d completed, %d shed, %d errors\n",
+		rec.URL, rec.Requests, rec.Clients, rec.Tenants, rec.Completed, rec.Shed, rec.Errors)
+	fmt.Printf("serve-load: %.1f req/s over %.1f ms; latency p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rec.ThroughputRPS, rec.WallMS, rec.P50MS, rec.P95MS, rec.P99MS)
+	if benchJSON == "" {
+		return
+	}
+	perf := bench.PerfRecord{
+		GeneratedBy: "ressclbench -serve-load",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		TotalWallMS: rec.WallMS,
+		ServeLoad:   rec,
+	}
+	out, err := json.MarshalIndent(perf, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(benchJSON, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serve-load record written to %s\n", benchJSON)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -153,13 +154,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		c, err = core.Compile(algo, tp, opts)
+		c, err = core.Compile(context.Background(), algo, tp, opts)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
 		var err error
-		c, err = core.CompileDSL(string(src), tp, opts)
+		c, err = core.CompileDSL(context.Background(), string(src), tp, opts)
 		if err != nil {
 			fatal(err)
 		}

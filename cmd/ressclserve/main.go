@@ -1,0 +1,132 @@
+// Command ressclserve is the multi-tenant plan service: an HTTP/JSON
+// daemon exposing the compile / what-if-simulate / analyze pipeline to
+// concurrent tenants with admission control, per-tenant quotas, a
+// bounded shared plan cache, and graceful SIGTERM drain.
+//
+// Usage:
+//
+//	ressclserve -addr :8080
+//	ressclserve -addr :8080 -workers 8 -quota 32 -drain-timeout 10s
+//
+// Endpoints: POST /v1/compile, /v1/simulate, /v1/analyze;
+// GET /healthz, /readyz, /metricsz. See docs/serving.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/serve"
+)
+
+func main() {
+	var (
+		addr            = flag.String("addr", ":8080", "listen address")
+		workers         = flag.Int("workers", serve.DefaultWorkers, "concurrent compile slots")
+		maxQueue        = flag.Int("max-queue", serve.DefaultMaxQueue, "bounded work queue depth; excess requests shed with 429")
+		queueBudget     = flag.Duration("queue-budget", serve.DefaultQueueBudget, "longest a request may wait for a worker before shedding (negative disables)")
+		quota           = flag.Int("quota", serve.DefaultTenantQuota, "per-tenant in-flight request quota (negative disables)")
+		defaultDeadline = flag.Duration("default-deadline", serve.DefaultDeadline, "processing deadline for requests without one (negative disables)")
+		cacheEntries    = flag.Int("cache-entries", backend.DefaultMaxEntries, "plan cache entry bound")
+		cacheBytes      = flag.Int64("cache-bytes", backend.DefaultMaxBytes, "plan cache byte bound")
+		drainTimeout    = flag.Duration("drain-timeout", 15*time.Second, "how long SIGTERM drain waits for in-flight requests before hard-cancelling them")
+		metricsJSON     = flag.String("metrics-json", "", "write the final metrics snapshot to this file on shutdown")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("ressclserve: ")
+
+	svc := serve.New(serve.Config{
+		Workers:         *workers,
+		MaxQueue:        *maxQueue,
+		QueueBudget:     *queueBudget,
+		TenantQuota:     *quota,
+		DefaultDeadline: *defaultDeadline,
+		CacheConfig: backend.CacheConfig{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           serve.Handler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	log.Printf("serving on %s (workers=%d queue=%d quota=%d)", ln.Addr(), *workers, *maxQueue, *quota)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+
+	// Graceful shutdown: stop admitting (readyz flips to 503, new work
+	// sheds with ErrDraining) while the server keeps streaming in-flight
+	// responses, then close the listener and flush metrics.
+	log.Printf("signal received, draining (timeout %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+
+	if err := flushMetrics(svc, *metricsJSON); err != nil {
+		log.Printf("metrics flush: %v", err)
+	}
+	snap := svc.Metrics().Snapshot()
+	log.Printf("drained: completed=%d shed=%d cancelled=%d cache=%+v",
+		snap.Counters["serve.completed"],
+		snap.Counters["serve.shed.overloaded"]+snap.Counters["serve.shed.quota"]+snap.Counters["serve.shed.draining"],
+		snap.Counters["serve.cancelled"],
+		svc.CacheStats())
+}
+
+// flushMetrics writes the deterministic metrics snapshot to path, or
+// nowhere when no path was configured.
+func flushMetrics(svc *serve.Service, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := svc.WriteMetricsJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ressclserve: metrics written to %s\n", path)
+	return nil
+}

@@ -1,6 +1,7 @@
 package analyze_test
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,7 +36,7 @@ func compile(t testing.TB, name string, nodes, gpus int) *kernel.Kernel {
 	if err != nil {
 		t.Fatalf("build %s: %v", name, err)
 	}
-	c, err := core.Compile(algo, topo.New(nodes, gpus, topo.A100()), core.Options{})
+	c, err := core.Compile(context.Background(), algo, topo.New(nodes, gpus, topo.A100()), core.Options{})
 	if err != nil {
 		t.Fatalf("compile %s: %v", name, err)
 	}
@@ -287,7 +288,7 @@ func deadPrimitivePlan(t testing.TB) *kernel.Kernel {
 			{Src: 0, Dst: 2, Step: 3, Chunk: 0, Type: ir.CommRecv},
 		},
 	}
-	c, err := core.Compile(algo, topo.New(1, 4, topo.A100()), core.Options{})
+	c, err := core.Compile(context.Background(), algo, topo.New(1, 4, topo.A100()), core.Options{})
 	if err != nil {
 		t.Fatalf("compile dead-rs: %v", err)
 	}

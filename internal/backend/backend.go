@@ -18,6 +18,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -80,9 +81,29 @@ func vet(p *Plan) (*Plan, error) {
 }
 
 // Backend compiles collectives into executable kernels.
+//
+// Compile is context-aware: backends poll ctx at phase boundaries
+// (dependency analysis, scheduling, allocation, lowering), so a caller
+// that cancels or whose deadline expires stops burning CPU at the next
+// checkpoint instead of completing a plan nobody will read. A cancelled
+// compile returns an error satisfying errors.Is(err, context.Canceled)
+// or errors.Is(err, context.DeadlineExceeded).
 type Backend interface {
 	Name() string
-	Compile(req Request) (*Plan, error)
+	Compile(ctx context.Context, req Request) (*Plan, error)
+}
+
+// ctxCheck is the standard compile-phase checkpoint: it returns a typed
+// cancellation error when ctx is done, nil otherwise. A nil ctx never
+// cancels, so internal callers without a lifecycle can pass nil safely.
+func ctxCheck(ctx context.Context, backendName, phase string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%s: compile cancelled before %s: %w", backendName, phase, err)
+	}
+	return nil
 }
 
 // tbSpec describes one thread block while building a baseline kernel.

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func hmAR(t *testing.T, nNodes, gpn int) *ir.Algorithm {
 
 func TestNCCLIgnoresCustomAlgorithm(t *testing.T) {
 	tp := topo.New(2, 8, topo.A100())
-	plan, err := NewNCCL().Compile(Request{Algo: hmAR(t, 2, 8), Topo: tp})
+	plan, err := NewNCCL().Compile(context.Background(), Request{Algo: hmAR(t, 2, 8), Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestNCCLZigzagDisjointEdges(t *testing.T) {
 
 func TestMSCCLStageChannels(t *testing.T) {
 	tp := topo.New(2, 8, topo.A100())
-	plan, err := NewMSCCL().Compile(Request{Algo: hmAR(t, 2, 8), Topo: tp})
+	plan, err := NewMSCCL().Compile(context.Background(), Request{Algo: hmAR(t, 2, 8), Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestMSCCLLazyForSynthesized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := NewMSCCL().Compile(Request{Algo: algo, Topo: tp})
+	plan, err := NewMSCCL().Compile(context.Background(), Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestMSCCLLazyForSynthesized(t *testing.T) {
 func TestResCCLKernelShape(t *testing.T) {
 	tp := topo.New(2, 8, topo.A100())
 	r := NewResCCL()
-	plan, err := r.Compile(Request{Algo: hmAR(t, 2, 8), Topo: tp})
+	plan, err := r.Compile(context.Background(), Request{Algo: hmAR(t, 2, 8), Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestResCCLKernelShape(t *testing.T) {
 	if got := plan.Kernel.MaxTBsPerRank(); got != 16 {
 		t.Errorf("ResCCL TBs per GPU = %d, want 16 (Table 3 Topo2)", got)
 	}
-	full, err := r.CompileFull(Request{Algo: hmAR(t, 2, 8), Topo: tp})
+	full, err := r.CompileFull(context.Background(), Request{Algo: hmAR(t, 2, 8), Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +163,14 @@ func TestTable3TBCounts(t *testing.T) {
 	for shape, counts := range want {
 		tp := topo.New(shape[0], shape[1], topo.A100())
 		algo := hmAR(t, shape[0], shape[1])
-		ms, err := NewMSCCL().Compile(Request{Algo: algo, Topo: tp})
+		ms, err := NewMSCCL().Compile(context.Background(), Request{Algo: algo, Topo: tp})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got := ms.Kernel.MaxTBsPerRank(); got != counts[0] {
 			t.Errorf("%v MSCCL TBs = %d, want %d", shape, got, counts[0])
 		}
-		rs, err := NewResCCL().Compile(Request{Algo: algo, Topo: tp})
+		rs, err := NewResCCL().Compile(context.Background(), Request{Algo: algo, Topo: tp})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,15 +183,15 @@ func TestTable3TBCounts(t *testing.T) {
 func TestRequestValidation(t *testing.T) {
 	tp := topo.New(2, 4, topo.A100())
 	for _, b := range []Backend{NewNCCL(), NewMSCCL(), NewResCCL()} {
-		if _, err := b.Compile(Request{}); err == nil {
+		if _, err := b.Compile(context.Background(), Request{}); err == nil {
 			t.Errorf("%s: empty request should fail", b.Name())
 		}
-		if _, err := b.Compile(Request{Topo: tp}); err == nil {
+		if _, err := b.Compile(context.Background(), Request{Topo: tp}); err == nil {
 			t.Errorf("%s: missing algorithm should fail", b.Name())
 		}
 	}
 	// Rank mismatch.
-	if _, err := NewNCCL().Compile(Request{Algo: hmAR(t, 2, 8), Topo: tp}); err == nil {
+	if _, err := NewNCCL().Compile(context.Background(), Request{Algo: hmAR(t, 2, 8), Topo: tp}); err == nil {
 		t.Error("NCCL: rank/topology mismatch should fail")
 	}
 }

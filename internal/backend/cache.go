@@ -1,8 +1,11 @@
 package backend
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -19,37 +22,134 @@ import (
 // chunk sizes enter only at simulation time — which is what makes the
 // key sound.
 //
-// The cache is safe for concurrent use. Concurrent requests for the same
-// key are collapsed into a single compilation (the losers block until
-// the winner finishes), so hit/miss counts are deterministic regardless
-// of scheduling: misses == distinct keys requested.
+// The cache is bounded: entries live in sharded LRU lists capped by
+// entry count and by an approximate byte footprint, so a long-running
+// process (the ressclserve daemon) cannot grow it without limit. The
+// shards divide both the budget and the lock, keeping concurrent tenants
+// off each other's mutexes.
+//
+// Concurrent requests for the same key are collapsed into a single
+// compilation (singleflight). The flight is cancellation-safe: the
+// compile runs under its own context that is cancelled only when every
+// interested caller — leader and followers alike — has gone away, so a
+// cancelled leader neither aborts followers that still have budget nor
+// caches a partial plan. Cancelled flights are dropped from the cache;
+// the next request recompiles. For workloads that never cancel, hit and
+// miss counts remain deterministic: misses == distinct keys requested
+// (as long as the bounds are not hit).
 //
 // Compiled plans are shared by reference; Plan, its Kernel and its Graph
 // are treated as immutable after compilation everywhere downstream (the
 // simulator, the runtime and the trace analyzer only read them).
 type Cache struct {
+	cfg    CacheConfig
+	shards []cacheShard
+}
+
+// CacheConfig bounds a plan cache. The zero value applies the defaults;
+// the budgets are divided evenly across shards.
+type CacheConfig struct {
+	// MaxEntries caps the number of resident plans (default
+	// DefaultMaxEntries).
+	MaxEntries int
+	// MaxBytes caps the approximate resident plan footprint (default
+	// DefaultMaxBytes).
+	MaxBytes int64
+	// Shards is the lock-striping width, rounded up to a power of two
+	// (default DefaultShards).
+	Shards int
+}
+
+// Cache bound defaults: generous enough that the bench suite never
+// evicts (keeping its counters deterministic), small enough that a
+// long-running service stays bounded.
+const (
+	DefaultMaxEntries = 4096
+	DefaultMaxBytes   = 1 << 30
+	DefaultShards     = 8
+)
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = DefaultMaxEntries
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	pow := 1
+	for pow < c.Shards {
+		pow <<= 1
+	}
+	c.Shards = pow
+	return c
+}
+
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[[sha256.Size]byte]*cacheEntry
-	hits    int64
-	misses  int64
+	// lru holds completed entries, most recently used at the front.
+	// In-flight entries live only in the map.
+	lru        list.List
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+
+	hits, misses, evictions int64
 }
 
 type cacheEntry struct {
+	key  [sha256.Size]byte
 	done chan struct{}
 	plan *Plan
 	err  error
+
+	// Singleflight state, guarded by the shard mutex.
+	refs      int                // callers currently waiting on the flight
+	cancel    context.CancelFunc // stops the compile when the flight is abandoned
+	completed bool
+	abandoned bool
+
+	// Residency state, guarded by the shard mutex.
+	bytes int64
+	elem  *list.Element // non-nil once resident in the LRU
 }
 
-// NewCache returns an empty plan cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[[sha256.Size]byte]*cacheEntry)}
+// NewCache returns a plan cache with the default bounds.
+func NewCache() *Cache { return NewCacheWith(CacheConfig{}) }
+
+// NewCacheWith returns a plan cache with explicit bounds.
+func NewCacheWith(cfg CacheConfig) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg, shards: make([]cacheShard, cfg.Shards)}
+	perEntries := (cfg.MaxEntries + cfg.Shards - 1) / cfg.Shards
+	if perEntries < 1 {
+		perEntries = 1
+	}
+	perBytes := cfg.MaxBytes / int64(cfg.Shards)
+	if perBytes < 1 {
+		perBytes = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[[sha256.Size]byte]*cacheEntry)
+		c.shards[i].maxEntries = perEntries
+		c.shards[i].maxBytes = perBytes
+	}
+	return c
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
+	Hits   int64
+	Misses int64
+	// Evictions counts resident plans dropped to satisfy the entry or
+	// byte bound.
+	Evictions int64
+	Entries   int
+	// Bytes is the approximate resident plan footprint.
+	Bytes int64
 }
 
 // HitRate returns the fraction of lookups served from the cache, 0 when
@@ -61,50 +161,192 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// Stats snapshots the hit/miss counters.
+// Stats snapshots the counters across all shards.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+	var s CacheStats
+	if c == nil {
+		return s
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Evictions += sh.evictions
+		s.Entries += sh.lru.Len()
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // Compile returns the cached plan for the request, compiling it on first
 // use. Backends with configurations the fingerprint does not understand
 // fall through to a direct, uncached compile.
-func (c *Cache) Compile(b Backend, req Request) (*Plan, error) {
-	plan, _, err := c.CompileNoted(b, req)
+func (c *Cache) Compile(ctx context.Context, b Backend, req Request) (*Plan, error) {
+	plan, _, err := c.CompileNoted(ctx, b, req)
 	return plan, err
 }
 
 // CompileNoted is Compile plus a hit report: it returns whether the plan
-// was served from the cache, so callers can account cache effectiveness
-// (and skip re-recording compile-stage spans) per lookup. Uncacheable
-// requests report hit=false.
-func (c *Cache) CompileNoted(b Backend, req Request) (*Plan, bool, error) {
+// was served from the cache (or an already-running flight), so callers
+// can account cache effectiveness per lookup. Uncacheable requests
+// report hit=false.
+//
+// ctx governs only this caller's wait: when it is cancelled the caller
+// detaches from the flight and gets ctx's error, while the compile keeps
+// running for any other waiters. Only when the last waiter detaches is
+// the compile itself cancelled, and its partial result is discarded
+// rather than cached.
+func (c *Cache) CompileNoted(ctx context.Context, b Backend, req Request) (*Plan, bool, error) {
 	if c == nil {
-		plan, err := b.Compile(req)
+		plan, err := b.Compile(ctx, req)
 		return plan, false, err
 	}
 	key, ok := fingerprint(b, req)
 	if !ok {
-		plan, err := b.Compile(req)
+		plan, err := b.Compile(ctx, req)
 		return plan, false, err
 	}
-	c.mu.Lock()
-	e, hit := c.entries[key]
-	if hit {
-		c.hits++
-		c.mu.Unlock()
-		<-e.done
-		return e.plan, true, e.err
+	sh := &c.shards[int(key[0])&(len(c.shards)-1)]
+
+	sh.mu.Lock()
+	if e, found := sh.entries[key]; found && !e.abandoned {
+		sh.hits++
+		if e.completed {
+			if e.elem != nil {
+				sh.lru.MoveToFront(e.elem)
+			}
+			sh.mu.Unlock()
+			return e.plan, true, e.err
+		}
+		// Join the in-flight compilation.
+		e.refs++
+		sh.mu.Unlock()
+		return sh.wait(ctx, e, true)
 	}
-	e = &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
-	e.plan, e.err = b.Compile(req)
+	// Miss: start a new flight. The compile context is detached from the
+	// caller's: it is cancelled by the last departing waiter, not by any
+	// single caller.
+	sh.misses++
+	cctx, cancel := context.WithCancel(context.Background())
+	e := &cacheEntry{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+
+	go func() {
+		plan, err := b.Compile(cctx, req)
+		sh.complete(e, plan, err)
+	}()
+	return sh.wait(ctx, e, false)
+}
+
+// wait blocks until the flight completes or ctx is cancelled, detaching
+// from the flight in the latter case.
+func (sh *cacheShard) wait(ctx context.Context, e *cacheEntry, hit bool) (*Plan, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-e.done:
+		sh.mu.Lock()
+		e.refs--
+		sh.mu.Unlock()
+		return e.plan, hit, e.err
+	case <-ctx.Done():
+		sh.detach(e)
+		return nil, false, ctx.Err()
+	}
+}
+
+// detach removes one waiter from an in-flight entry. The last departing
+// waiter abandons the flight: the compile context is cancelled and the
+// entry is unlinked so the next request recompiles.
+func (sh *cacheShard) detach(e *cacheEntry) {
+	sh.mu.Lock()
+	e.refs--
+	if e.refs == 0 && !e.completed {
+		e.abandoned = true
+		if sh.entries[e.key] == e {
+			delete(sh.entries, e.key)
+		}
+		sh.mu.Unlock()
+		e.cancel()
+		return
+	}
+	sh.mu.Unlock()
+}
+
+// complete records the flight's outcome. Successful (and deterministic-
+// error) results become resident LRU entries; cancelled or abandoned
+// flights are dropped so a partial result can never be served later.
+func (sh *cacheShard) complete(e *cacheEntry, plan *Plan, err error) {
+	cancelled := err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	sh.mu.Lock()
+	e.plan, e.err = plan, err
+	e.completed = true
+	if e.abandoned || cancelled {
+		if sh.entries[e.key] == e {
+			delete(sh.entries, e.key)
+		}
+	} else {
+		e.bytes = planBytes(plan)
+		e.elem = sh.lru.PushFront(e)
+		sh.bytes += e.bytes
+		sh.evict()
+	}
 	close(e.done)
-	return e.plan, false, e.err
+	sh.mu.Unlock()
+	e.cancel() // release the flight context's resources
+}
+
+// evict drops least-recently-used resident entries until the shard is
+// within its bounds. The entry just inserted (front) is never evicted,
+// so a single oversized plan still serves its own waiters.
+func (sh *cacheShard) evict() {
+	for (sh.lru.Len() > sh.maxEntries || sh.bytes > sh.maxBytes) && sh.lru.Len() > 1 {
+		back := sh.lru.Back()
+		ev := back.Value.(*cacheEntry)
+		sh.lru.Remove(back)
+		ev.elem = nil
+		if sh.entries[ev.key] == ev {
+			delete(sh.entries, ev.key)
+		}
+		sh.bytes -= ev.bytes
+		sh.evictions++
+	}
+}
+
+// planBytes approximates a resident plan's memory footprint from its
+// kernel structure. The estimate only needs to be proportional — the
+// byte bound is a budget, not an accounting ledger.
+func planBytes(p *Plan) int64 {
+	const entryOverhead = 512
+	if p == nil || p.Kernel == nil {
+		return entryOverhead
+	}
+	k := p.Kernel
+	n := int64(len(k.SendTB)+len(k.RecvTB))*8 + int64(len(k.LinkPreds))*24
+	for _, tb := range k.TBs {
+		n += 96 + int64(len(tb.Slots))*56
+	}
+	if k.Graph != nil {
+		n += int64(len(k.Graph.Tasks)) * 96
+	}
+	if p.Algo != nil {
+		n += int64(len(p.Algo.Transfers)) * 40
+	}
+	return n + entryOverhead
+}
+
+// Configurer lets backend implementations outside the three built-ins
+// opt into caching: the returned string must capture every compile-
+// relevant configuration knob (equal strings ⇒ identical compilation
+// behaviour), and ok=false opts out per call. The serve and chaos
+// harnesses use it to keep instrumented wrapper backends cacheable.
+type Configurer interface {
+	CompileConfig() (cfg string, ok bool)
 }
 
 // fingerprint hashes everything compilation depends on. It returns
@@ -131,9 +373,10 @@ func fingerprint(b Backend, req Request) ([sha256.Size]byte, bool) {
 	return key, true
 }
 
-// backendConfig renders a backend's compile-relevant configuration. Only
-// the three known backend types are cacheable; anything else (a test
-// stub, a future stateful backend) compiles directly.
+// backendConfig renders a backend's compile-relevant configuration. The
+// three known backend types and Configurer implementations are
+// cacheable; anything else (a test stub, a future stateful backend)
+// compiles directly.
 func backendConfig(b Backend) (string, bool) {
 	switch bb := b.(type) {
 	case *NCCL:
@@ -144,6 +387,8 @@ func backendConfig(b Backend) (string, bool) {
 		o := bb.Options
 		return fmt.Sprintf("ResCCL|pol=%d|alloc=%d|mode=%d|chunk=%d|win=%d|skipv=%t|proto=%d",
 			o.Policy, o.Alloc, o.Mode, o.ChunkBytes, o.WindowMB, o.SkipVerify, o.Protocol), true
+	case Configurer:
+		return bb.CompileConfig()
 	default:
 		return "", false
 	}
@@ -174,6 +419,15 @@ func hashTopology(h io.Writer, t *topo.Topology) {
 		int64(p.LatIntra), int64(p.LatInter), int64(p.LatCrossRack),
 		int64(p.InterpCost), int64(p.KernelLoad),
 		int64(t.NNodes), int64(t.GPUsPerNode), int64(t.NICsPerNode), int64(t.ServersPerRack))
+	// Fabric tier: a flat, a clos and a rail topology of the same shape
+	// compile to different plans (spine resources, rail striping), so
+	// they must never share a fingerprint.
+	rail := int64(0)
+	if t.RailOptimized {
+		rail = 1
+	}
+	writeInts(h, int64(t.NSpines), rail)
+	writeFloats(h, t.SpineBW)
 }
 
 func writeInts(h io.Writer, vals ...int64) {

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -27,12 +28,12 @@ func TestCacheMatchesFreshCompile(t *testing.T) {
 	for _, b := range []Backend{NewNCCL(), NewMSCCL(), NewResCCL()} {
 		b := b
 		t.Run(b.Name(), func(t *testing.T) {
-			fresh, err := b.Compile(req)
+			fresh, err := b.Compile(context.Background(), req)
 			if err != nil {
 				t.Fatal(err)
 			}
 			c := NewCache()
-			first, err := c.Compile(b, req)
+			first, err := c.Compile(context.Background(), b, req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -42,7 +43,7 @@ func TestCacheMatchesFreshCompile(t *testing.T) {
 			if fresh.Backend != first.Backend {
 				t.Errorf("backend label %q != %q", first.Backend, fresh.Backend)
 			}
-			second, err := c.Compile(b, req)
+			second, err := c.Compile(context.Background(), b, req)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -62,7 +63,7 @@ func TestCacheMatchesFreshCompile(t *testing.T) {
 func TestCacheKeyDiscriminates(t *testing.T) {
 	req := cacheTestRequest(t)
 	c := NewCache()
-	base, err := c.Compile(NewMSCCL(), req)
+	base, err := c.Compile(context.Background(), NewMSCCL(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	// Different topology profile.
 	other := req
 	other.Topo = topo.New(2, 4, topo.V100())
-	if p, err := c.Compile(NewMSCCL(), other); err != nil {
+	if p, err := c.Compile(context.Background(), NewMSCCL(), other); err != nil {
 		t.Fatal(err)
 	} else if p == base {
 		t.Error("different profile must not share the cache entry")
@@ -81,14 +82,14 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	lazy := *req.Algo
 	lazy.StageBounds = nil
 	lazyReq := Request{Algo: &lazy, Topo: req.Topo}
-	if p, err := c.Compile(NewMSCCL(), lazyReq); err != nil {
+	if p, err := c.Compile(context.Background(), NewMSCCL(), lazyReq); err != nil {
 		t.Fatal(err)
 	} else if p == base {
 		t.Error("different stage bounds must not share the cache entry")
 	}
 
 	// Different backend configuration.
-	if p, err := c.Compile(&MSCCL{Instances: 2}, req); err != nil {
+	if p, err := c.Compile(context.Background(), &MSCCL{Instances: 2}, req); err != nil {
 		t.Fatal(err)
 	} else if p == base {
 		t.Error("different instance count must not share the cache entry")
@@ -108,13 +109,13 @@ func TestCacheKeyDiscriminatesProtocol(t *testing.T) {
 		t.Run(b.Name(), func(t *testing.T) {
 			c := NewCache()
 			req := cacheTestRequest(t)
-			auto, _, err := c.CompileNoted(b, req)
+			auto, _, err := c.CompileNoted(context.Background(), b, req)
 			if err != nil {
 				t.Fatal(err)
 			}
 			forced := req
 			forced.Protocol = ir.ProtoLL
-			ll, hit, err := c.CompileNoted(b, forced)
+			ll, hit, err := c.CompileNoted(context.Background(), b, forced)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,10 +133,10 @@ func TestCacheKeyDiscriminatesProtocol(t *testing.T) {
 				t.Errorf("stats = %+v, want 2 misses", st)
 			}
 			// Re-requesting each tier must hit its own entry.
-			if p, hit, _ := c.CompileNoted(b, forced); !hit || p != ll {
+			if p, hit, _ := c.CompileNoted(context.Background(), b, forced); !hit || p != ll {
 				t.Error("second forced-LL request should hit the forced entry")
 			}
-			if p, hit, _ := c.CompileNoted(b, req); !hit || p != auto {
+			if p, hit, _ := c.CompileNoted(context.Background(), b, req); !hit || p != auto {
 				t.Error("second auto request should hit the auto entry")
 			}
 		})
@@ -155,7 +156,7 @@ func TestCacheConcurrentSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := c.Compile(b, req)
+			p, err := c.Compile(context.Background(), b, req)
 			if err != nil {
 				t.Error(err)
 				return
@@ -180,7 +181,7 @@ func TestCacheConcurrentSingleflight(t *testing.T) {
 type opaqueBackend struct{ calls int }
 
 func (o *opaqueBackend) Name() string { return "opaque" }
-func (o *opaqueBackend) Compile(req Request) (*Plan, error) {
+func (o *opaqueBackend) Compile(_ context.Context, req Request) (*Plan, error) {
 	o.calls++
 	return &Plan{Backend: "opaque", Algo: req.Algo}, nil
 }
@@ -190,7 +191,7 @@ func TestCacheUnknownBackendUncached(t *testing.T) {
 	c := NewCache()
 	ob := &opaqueBackend{}
 	for i := 0; i < 3; i++ {
-		if _, err := c.Compile(ob, req); err != nil {
+		if _, err := c.Compile(context.Background(), ob, req); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,7 +207,7 @@ func TestCacheUnknownBackendUncached(t *testing.T) {
 func TestNilCacheCompiles(t *testing.T) {
 	req := cacheTestRequest(t)
 	var c *Cache
-	p, err := c.Compile(NewNCCL(), req)
+	p, err := c.Compile(context.Background(), NewNCCL(), req)
 	if err != nil {
 		t.Fatal(err)
 	}

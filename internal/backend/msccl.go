@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -40,16 +41,22 @@ func NewMSCCL() *MSCCL { return &MSCCL{Instances: 4} }
 func (m *MSCCL) Name() string { return "MSCCL" }
 
 // Compile implements Backend.
-func (m *MSCCL) Compile(req Request) (*Plan, error) {
+func (m *MSCCL) Compile(ctx context.Context, req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("msccl: request needs an algorithm and topology")
 	}
 	if !req.Protocol.Valid() {
 		return nil, fmt.Errorf("msccl: undefined protocol tier %d", int(req.Protocol))
 	}
+	if err := ctxCheck(ctx, "msccl", "dependency analysis"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	g, err := dag.Build(req.Algo, req.Topo)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxCheck(ctx, "msccl", "TB layout"); err != nil {
 		return nil, err
 	}
 	var specs []tbSpec

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,9 +78,12 @@ func zigzagPath(k, n int) []int {
 
 // Compile implements Backend. Only Algo.Op and Algo.NRanks of the
 // request are honoured; the plan executes NCCL's own ring algorithm.
-func (n *NCCL) Compile(req Request) (*Plan, error) {
+func (n *NCCL) Compile(ctx context.Context, req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("nccl: request needs algorithm metadata and topology")
+	}
+	if err := ctxCheck(ctx, "nccl", "algorithm construction"); err != nil {
+		return nil, err
 	}
 	if !req.Protocol.Valid() {
 		return nil, fmt.Errorf("nccl: undefined protocol tier %d", int(req.Protocol))
@@ -131,8 +135,14 @@ func (n *NCCL) Compile(req Request) (*Plan, error) {
 			return nil, err
 		}
 	}
+	if err := ctxCheck(ctx, "nccl", "dependency analysis"); err != nil {
+		return nil, err
+	}
 	g, err := dag.Build(algo, req.Topo)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctxCheck(ctx, "nccl", "TB layout"); err != nil {
 		return nil, err
 	}
 	// One (sendTB, recvTB) pair per connection per channel: partition

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -131,7 +132,7 @@ func TestProtocolCrossoverSimFidelity(t *testing.T) {
 	algo := &ir.Algorithm{Name: "ar", Op: ir.OpAllReduce, NRanks: 16, NChunks: 16}
 	completion := func(proto ir.Protocol, bufBytes int64) float64 {
 		t.Helper()
-		plan, err := NewNCCL().Compile(Request{Algo: algo, Topo: tp, Protocol: proto})
+		plan, err := NewNCCL().Compile(context.Background(), Request{Algo: algo, Topo: tp, Protocol: proto})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func TestProtoAutoIsSimpleIdentity(t *testing.T) {
 	algo := &ir.Algorithm{Name: "ag", Op: ir.OpAllGather, NRanks: 8, NChunks: 8}
 	run := func(proto ir.Protocol) float64 {
 		t.Helper()
-		plan, err := NewNCCL().Compile(Request{Algo: algo, Topo: tp, Protocol: proto})
+		plan, err := NewNCCL().Compile(context.Background(), Request{Algo: algo, Topo: tp, Protocol: proto})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func TestUndefinedProtocolRejected(t *testing.T) {
 	req := cacheTestRequest(t)
 	req.Protocol = ir.Protocol(99)
 	for _, b := range []Backend{NewNCCL(), NewMSCCL(), NewResCCL()} {
-		if _, err := b.Compile(req); err == nil {
+		if _, err := b.Compile(context.Background(), req); err == nil {
 			t.Errorf("%s: compile accepted undefined protocol tier", b.Name())
 		}
 	}

@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/resccl/resccl/internal/core"
@@ -22,12 +23,14 @@ func NewResCCL() *ResCCL { return &ResCCL{} }
 // Name implements Backend.
 func (r *ResCCL) Name() string { return "ResCCL" }
 
-// Compile implements Backend.
-func (r *ResCCL) Compile(req Request) (*Plan, error) {
+// Compile implements Backend. The full sched→talloc→kernel pipeline
+// checks ctx at each phase boundary (core.Compile), so cancellation
+// stops the pipeline at the next checkpoint.
+func (r *ResCCL) Compile(ctx context.Context, req Request) (*Plan, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
 	}
-	c, err := core.Compile(req.Algo, req.Topo, r.options(req))
+	c, err := core.Compile(ctx, req.Algo, req.Topo, r.options(req))
 	if err != nil {
 		return nil, err
 	}
@@ -47,9 +50,9 @@ func (r *ResCCL) options(req Request) core.Options {
 // CompileFull exposes the full compilation artifacts (pipeline,
 // assignment, phase timings) for experiments that inspect more than the
 // kernel.
-func (r *ResCCL) CompileFull(req Request) (*core.Compiled, error) {
+func (r *ResCCL) CompileFull(ctx context.Context, req Request) (*core.Compiled, error) {
 	if req.Algo == nil || req.Topo == nil {
 		return nil, fmt.Errorf("resccl: request needs an algorithm and topology")
 	}
-	return core.Compile(req.Algo, req.Topo, r.options(req))
+	return core.Compile(ctx, req.Algo, req.Topo, r.options(req))
 }

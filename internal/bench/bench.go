@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -142,7 +143,7 @@ func compile(opts Options, b backend.Backend, req backend.Request) (*backend.Pla
 	if opts.Protocol.Forced() && req.Protocol == ir.ProtoAuto {
 		req.Protocol = opts.Protocol
 	}
-	plan, hit, err := opts.Cache.CompileNoted(b, req)
+	plan, hit, err := opts.Cache.CompileNoted(context.Background(), b, req)
 	if err == nil && !hit && opts.Trace != nil && req.Algo != nil {
 		opts.Trace.AddStages("compile", b.Name()+"/"+req.Algo.Name, plan.Stages)
 	}

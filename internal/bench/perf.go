@@ -48,6 +48,11 @@ type PerfRecord struct {
 	// the simulated LL/LL128/Simple thresholds per collective.
 	SwitchPoints []SwitchPoint    `json:"protocol_switch_points,omitempty"`
 	Experiments  []PerfExperiment `json:"experiments"`
+	// ServeLoad is filled by ressclbench -serve-load: throughput and
+	// latency percentiles of a storm against the plan service. It lives
+	// in its own BENCH_serve.json record — service timings are load- and
+	// host-dependent, so they never enter the deterministic baseline.
+	ServeLoad *ServeLoadRecord `json:"serve_load,omitempty"`
 }
 
 // PublishMetrics mirrors the harness counters into an obs metrics

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/resccl/resccl/internal/serve"
+)
+
+// ServeLoadOptions parameterises a load run against the plan service.
+type ServeLoadOptions struct {
+	// URL targets a running ressclserve instance. Empty self-hosts an
+	// in-process service behind an httptest server.
+	URL string
+	// Clients is the number of concurrent load generators (default 8).
+	Clients int
+	// Tenants is the number of distinct tenant IDs the generators
+	// rotate through (default 4).
+	Tenants int
+	// Requests is the total request count (default 200).
+	Requests int
+	// Workers configures the self-hosted service's compile slots
+	// (default 4); ignored when URL targets an external server.
+	Workers int
+}
+
+func (o ServeLoadOptions) withDefaults() ServeLoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// ServeLoadRecord is the machine-readable result of one load run —
+// the serve-mode analogue of the perf record's counters.
+type ServeLoadRecord struct {
+	URL           string  `json:"url"`
+	Clients       int     `json:"clients"`
+	Tenants       int     `json:"tenants"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Shed          int     `json:"shed"`
+	Errors        int     `json:"errors"`
+	WallMS        float64 `json:"wall_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// serveLoadShapes is the request mix the generators rotate through.
+var serveLoadShapes = []serve.CompileRequest{
+	{Algorithm: "ring-allreduce", Nodes: 1, GPUsPerNode: 4},
+	{Algorithm: "ring-allgather", Nodes: 1, GPUsPerNode: 8},
+	{Algorithm: "hm-allreduce", Nodes: 2, GPUsPerNode: 4, Fabric: "clos"},
+	{Algorithm: "hm-allgather", Nodes: 2, GPUsPerNode: 2, Fabric: "rail"},
+	{Algorithm: "tree-allreduce", Nodes: 1, GPUsPerNode: 8, Backend: "nccl"},
+	{Algorithm: "hm-reducescatter", Nodes: 2, GPUsPerNode: 2, Backend: "msccl"},
+}
+
+// ServeLoad storms the plan service with concurrent mixed requests and
+// reports throughput plus completed-request latency percentiles.
+// Requests that shed (429/503) count separately — under admission
+// control, shedding is expected behaviour, not an error.
+func ServeLoad(opts ServeLoadOptions) (*ServeLoadRecord, error) {
+	opts = opts.withDefaults()
+	base := opts.URL
+	if base == "" {
+		svc := serve.New(serve.Config{Workers: opts.Workers})
+		ts := httptest.NewServer(serve.Handler(svc))
+		defer ts.Close()
+		base = ts.URL
+	}
+
+	// Pre-marshal every request body so generator goroutines only do
+	// I/O and timing on the hot path.
+	type job struct {
+		path string
+		body []byte
+	}
+	jobs := make([]job, opts.Requests)
+	for i := range jobs {
+		req := serveLoadShapes[i%len(serveLoadShapes)]
+		req.Tenant = fmt.Sprintf("tenant-%d", i%opts.Tenants)
+		var j job
+		switch i % 4 {
+		case 1:
+			j.path = "/v1/simulate"
+			b, err := json.Marshal(serve.SimulateRequest{CompileRequest: req, BufferBytes: 1 << 20})
+			if err != nil {
+				return nil, err
+			}
+			j.body = b
+		case 3:
+			j.path = "/v1/analyze"
+			b, err := json.Marshal(serve.AnalyzeRequest{CompileRequest: req})
+			if err != nil {
+				return nil, err
+			}
+			j.body = b
+		default:
+			j.path = "/v1/compile"
+			b, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			j.body = b
+		}
+		jobs[i] = j
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		shed      atomic.Int64
+		failed    atomic.Int64
+		latMu     sync.Mutex
+		latencies []float64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+jobs[i].path, "application/json", bytes.NewReader(jobs[i].body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ms := float64(time.Since(t0)) / float64(time.Millisecond)
+					completed.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, ms)
+					latMu.Unlock()
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rec := &ServeLoadRecord{
+		URL:       opts.URL,
+		Clients:   opts.Clients,
+		Tenants:   opts.Tenants,
+		Requests:  opts.Requests,
+		Completed: int(completed.Load()),
+		Shed:      int(shed.Load()),
+		Errors:    int(failed.Load()),
+		WallMS:    float64(wall) / float64(time.Millisecond),
+	}
+	if rec.URL == "" {
+		rec.URL = "self-hosted"
+	}
+	if wall > 0 {
+		rec.ThroughputRPS = float64(rec.Requests) / wall.Seconds()
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(latencies))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return latencies[i]
+	}
+	rec.P50MS, rec.P95MS, rec.P99MS = pct(0.50), pct(0.95), pct(0.99)
+	return rec, nil
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestServeLoadSelfHosted runs a small storm against a self-hosted
+// service and checks the record's accounting invariants: every request
+// is classified exactly once, percentiles are ordered, and throughput
+// is positive.
+func TestServeLoadSelfHosted(t *testing.T) {
+	rec, err := ServeLoad(ServeLoadOptions{Clients: 4, Tenants: 2, Requests: 24, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Completed + rec.Shed + rec.Errors; got != rec.Requests {
+		t.Fatalf("classification leak: %d+%d+%d != %d requests",
+			rec.Completed, rec.Shed, rec.Errors, rec.Requests)
+	}
+	if rec.Errors != 0 {
+		t.Fatalf("%d untyped errors under plain load: %+v", rec.Errors, rec)
+	}
+	if rec.Completed == 0 {
+		t.Fatalf("no request completed: %+v", rec)
+	}
+	if rec.ThroughputRPS <= 0 || rec.WallMS <= 0 {
+		t.Fatalf("degenerate throughput: %+v", rec)
+	}
+	if rec.P50MS > rec.P95MS || rec.P95MS > rec.P99MS {
+		t.Fatalf("percentiles out of order: %+v", rec)
+	}
+	if rec.URL != "self-hosted" {
+		t.Fatalf("url = %q, want self-hosted", rec.URL)
+	}
+}

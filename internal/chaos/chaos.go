@@ -15,6 +15,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -135,7 +136,7 @@ func runCase(rng *rand.Rand, watchdog time.Duration) (string, *rt.Result, error)
 	// the identity. Drawn last so earlier seeds' draws keep their
 	// historical values within a case.
 	proto := ir.Protocol(rng.Intn(4))
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 	if err != nil {
 		return sh.name, nil, fmt.Errorf("chaos: compile %s on %s: %w", algo.Name, sh.name, err)
 	}

@@ -1,0 +1,274 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/resccl/resccl/internal/backend"
+	"github.com/resccl/resccl/internal/serve"
+)
+
+// ServiceConfig parameterises a service-mode sweep: seeded storms of
+// concurrent mixed requests against a randomly configured serve.Service
+// — mid-flight cancellations, tiny deadlines, tenant floods and
+// drain-under-load — asserting the admission contract on every request.
+type ServiceConfig struct {
+	// Seed drives every random choice; equal configs replay equal cases.
+	Seed int64
+	// Cases is the number of independent service storms to run.
+	Cases int
+	// Watchdog bounds one case's wall time (default 10s). A case that
+	// exceeds it is reported as a hang.
+	Watchdog time.Duration
+}
+
+// ServiceReport summarises a service-mode sweep.
+type ServiceReport struct {
+	Cases int
+	// Requests is the total number of requests issued across all cases.
+	Requests int
+	// Completed / Shed / Cancelled / DeadlineExpired partition the
+	// non-failing request outcomes. Shed counts typed admission
+	// rejections (overload, quota, draining).
+	Completed, Shed, Cancelled, DeadlineExpired int
+	// Drained counts cases that drained the service mid-storm.
+	Drained int
+	// Failures lists contract violations: untyped errors, hangs,
+	// post-case corruption. Empty on a healthy system.
+	Failures []Failure
+}
+
+// jitter wraps a backend with a small seeded compile delay so requests
+// genuinely overlap inside the service; cancellation is honoured while
+// sleeping. It is cacheable (Configurer), so storms also exercise the
+// singleflight path under concurrency.
+type jitter struct {
+	inner  backend.Backend
+	delays []time.Duration
+	next   *atomic.Int64
+}
+
+func (j *jitter) Name() string { return "jitter-" + j.inner.Name() }
+
+func (j *jitter) CompileConfig() (string, bool) { return "jitter:" + j.inner.Name(), true }
+
+func (j *jitter) Compile(ctx context.Context, req backend.Request) (*backend.Plan, error) {
+	d := j.delays[int(j.next.Add(1))%len(j.delays)]
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return j.inner.Compile(ctx, req)
+}
+
+// serviceShapes are the request templates a storm samples from — small
+// enough to compile in well under a millisecond, varied enough to
+// populate several cache entries.
+var serviceShapes = []serve.CompileRequest{
+	{Algorithm: "ring-allreduce", Nodes: 1, GPUsPerNode: 4},
+	{Algorithm: "ring-allgather", Nodes: 1, GPUsPerNode: 8},
+	{Algorithm: "tree-allreduce", Nodes: 1, GPUsPerNode: 4, Backend: "nccl"},
+	{Algorithm: "hm-allreduce", Nodes: 2, GPUsPerNode: 2, Fabric: "clos"},
+	{Algorithm: "hm-allgather", Nodes: 2, GPUsPerNode: 2, Fabric: "rail", Backend: "msccl"},
+	{Algorithm: "ring-reducescatter", Nodes: 1, GPUsPerNode: 2, Protocol: "ll"},
+}
+
+// RunService executes the service-mode sweep. Like Run, it never
+// returns an error itself: violations are data in the report.
+func RunService(cfg ServiceConfig) ServiceReport {
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = 10 * time.Second
+	}
+	rep := ServiceReport{Cases: cfg.Cases}
+	for i := 0; i < cfg.Cases; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b9))
+		done := make(chan caseResult, 1)
+		go func() { done <- runServiceCase(rng) }()
+		select {
+		case res := <-done:
+			rep.Requests += res.requests
+			rep.Completed += res.completed
+			rep.Shed += res.shed
+			rep.Cancelled += res.cancelled
+			rep.DeadlineExpired += res.deadline
+			if res.drained {
+				rep.Drained++
+			}
+			for _, err := range res.violations {
+				rep.Failures = append(rep.Failures, Failure{Case: i, Desc: res.desc, Err: err})
+			}
+		case <-time.After(cfg.Watchdog):
+			rep.Failures = append(rep.Failures, Failure{Case: i, Desc: "service storm",
+				Err: fmt.Errorf("hang: case exceeded %v watchdog", cfg.Watchdog)})
+		}
+	}
+	return rep
+}
+
+type caseResult struct {
+	desc       string
+	requests   int
+	completed  int
+	shed       int
+	cancelled  int
+	deadline   int
+	drained    bool
+	violations []error
+}
+
+// runServiceCase builds one randomly configured service, storms it with
+// concurrent mixed requests (some cancelled mid-flight, some under tiny
+// deadlines), optionally drains it mid-storm, and checks the
+// success-or-typed-error contract plus post-case invariants.
+func runServiceCase(rng *rand.Rand) caseResult {
+	workers := 1 + rng.Intn(4)
+	maxQueue := 1 + rng.Intn(8)
+	quota := []int{-1, 2, 4}[rng.Intn(3)]
+	queueBudget := []time.Duration{-1, 5 * time.Millisecond, 50 * time.Millisecond}[rng.Intn(3)]
+	maxEntries := []int{0, 4, 8}[rng.Intn(3)]
+
+	delays := make([]time.Duration, 16)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	var seq atomic.Int64
+	svc := serve.New(serve.Config{
+		Workers:         workers,
+		MaxQueue:        maxQueue,
+		TenantQuota:     quota,
+		QueueBudget:     queueBudget,
+		DefaultDeadline: 2 * time.Second,
+		CacheConfig:     backend.CacheConfig{MaxEntries: maxEntries, Shards: 1 + rng.Intn(2)},
+		WrapBackend: func(b backend.Backend) backend.Backend {
+			return &jitter{inner: b, delays: delays, next: &seq}
+		},
+	})
+
+	nReq := 8 + rng.Intn(17) // 8..24
+	nTenants := 1 + rng.Intn(4)
+	drainMid := rng.Intn(2) == 1
+	res := caseResult{
+		desc: fmt.Sprintf("storm workers=%d queue=%d quota=%d budget=%v reqs=%d tenants=%d drain=%v",
+			workers, maxQueue, quota, queueBudget, nReq, nTenants, drainMid),
+		requests: nReq,
+	}
+
+	type launch struct {
+		kind     int // 0 compile, 1 simulate, 2 analyze
+		req      serve.CompileRequest
+		cancelAt time.Duration // >0: cancel the caller ctx after this delay
+	}
+	launches := make([]launch, nReq)
+	for i := range launches {
+		l := launch{
+			kind: rng.Intn(3),
+			req:  serviceShapes[rng.Intn(len(serviceShapes))],
+		}
+		l.req.Tenant = fmt.Sprintf("tenant-%d", rng.Intn(nTenants))
+		switch rng.Intn(6) {
+		case 0: // mid-flight caller cancellation
+			l.cancelAt = time.Duration(rng.Intn(3)) * time.Millisecond
+		case 1: // deadline so tight it usually expires in queue or jitter
+			l.req.DeadlineMS = 1
+		}
+		launches[i] = l
+	}
+
+	errs := make([]error, nReq)
+	var wg sync.WaitGroup
+	for i, l := range launches {
+		wg.Add(1)
+		go func(i int, l launch) {
+			defer wg.Done()
+			ctx := context.Background()
+			if l.cancelAt > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithCancel(ctx)
+				time.AfterFunc(l.cancelAt, cancel)
+				defer cancel()
+			}
+			var err error
+			switch l.kind {
+			case 0:
+				_, err = svc.Compile(ctx, &l.req)
+			case 1:
+				_, err = svc.Simulate(ctx, &serve.SimulateRequest{CompileRequest: l.req, BufferBytes: 1 << 20})
+			default:
+				_, err = svc.Analyze(ctx, &serve.AnalyzeRequest{CompileRequest: l.req})
+			}
+			errs[i] = err
+		}(i, l)
+	}
+
+	if drainMid {
+		time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+		drainCtx, cancel := context.WithTimeout(context.Background(), time.Duration(1+rng.Intn(20))*time.Millisecond)
+		if err := svc.Drain(drainCtx); err != nil {
+			res.violations = append(res.violations, fmt.Errorf("drain under load: %w", err))
+		}
+		cancel()
+		res.drained = true
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			res.completed++
+		case errors.Is(err, serve.ErrOverloaded),
+			errors.Is(err, serve.ErrQuotaExceeded),
+			errors.Is(err, serve.ErrDraining):
+			res.shed++
+		case errors.Is(err, context.DeadlineExceeded):
+			res.deadline++
+		case errors.Is(err, context.Canceled):
+			res.cancelled++
+		default:
+			res.violations = append(res.violations, fmt.Errorf("request %d: untyped error: %w", i, err))
+		}
+	}
+
+	// Every storm ends with a full drain; afterwards nothing may remain
+	// in flight and new work must shed with the draining error.
+	finalCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Drain(finalCtx); err != nil {
+		res.violations = append(res.violations, fmt.Errorf("final drain: %w", err))
+	}
+	if n := svc.InFlight(); n != 0 {
+		res.violations = append(res.violations, fmt.Errorf("%d request(s) still in flight after drain", n))
+	}
+	late := serviceShapes[0]
+	if _, err := svc.Compile(context.Background(), &late); !errors.Is(err, serve.ErrDraining) {
+		res.violations = append(res.violations, fmt.Errorf("post-drain admission returned %v, want ErrDraining", err))
+	}
+
+	// Cache-corruption checks: counters must be coherent and residency
+	// must respect the configured bound.
+	st := svc.CacheStats()
+	if st.Entries < 0 || st.Bytes < 0 || st.Hits < 0 || st.Misses < 0 {
+		res.violations = append(res.violations, fmt.Errorf("cache stats went negative: %+v", st))
+	}
+	if maxEntries > 0 && st.Entries > maxEntries {
+		res.violations = append(res.violations,
+			fmt.Errorf("cache holds %d entries, bound is %d", st.Entries, maxEntries))
+	}
+
+	// Metrics must agree with observed outcomes.
+	m := svc.Metrics()
+	if got := m.Counter("serve.completed"); got != int64(res.completed) {
+		res.violations = append(res.violations,
+			fmt.Errorf("serve.completed=%d but %d requests succeeded", got, res.completed))
+	}
+	return res
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -118,20 +119,43 @@ type Compiled struct {
 	Options    Options
 }
 
+// checkpoint is the phase-boundary cancellation probe: a cancelled or
+// deadline-expired ctx stops the pipeline before the named phase with a
+// typed error (errors.Is context.Canceled / context.DeadlineExceeded).
+// A nil ctx never cancels.
+func checkpoint(ctx context.Context, phase string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: compile cancelled before %s: %w", phase, err)
+	}
+	return nil
+}
+
 // Compile runs the full ResCCL pipeline on an already-built algorithm.
-func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, error) {
+// Each phase boundary (verify → analyze → schedule → alloc → lower) is a
+// cancellation checkpoint for ctx, so a dropped caller stops burning CPU
+// at the next phase instead of completing the plan.
+func Compile(ctx context.Context, algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, error) {
 	opts = opts.withDefaults()
 	if !opts.Protocol.Valid() {
 		return nil, fmt.Errorf("core: undefined protocol tier %d", int(opts.Protocol))
 	}
 	c := &Compiled{Algo: algo, Options: opts}
 
+	if err := checkpoint(ctx, "verification"); err != nil {
+		return nil, err
+	}
 	if !opts.SkipVerify {
 		if err := collective.Check(algo); err != nil {
 			return nil, fmt.Errorf("core: algorithm %q fails its %v postcondition: %w", algo.Name, algo.Op, err)
 		}
 	}
 
+	if err := checkpoint(ctx, "dependency analysis"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	g, err := dag.Build(algo, t)
 	if err != nil {
@@ -140,6 +164,9 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 	c.Graph = g
 	c.Phases.Analyze = time.Since(start)
 
+	if err := checkpoint(ctx, "scheduling"); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	p, err := sched.Schedule(g, opts.Policy)
 	if err != nil {
@@ -148,6 +175,9 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 	c.Pipeline = p
 	c.Phases.Schedule = time.Since(start)
 
+	if err := checkpoint(ctx, "TB allocation"); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	c.Windows = talloc.EstimateWindows(p, int(opts.ChunkBytes), opts.WindowMB)
 	switch opts.Alloc {
@@ -160,6 +190,9 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 	}
 	c.Phases.Alloc = time.Since(start)
 
+	if err := checkpoint(ctx, "kernel lowering"); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	k, err := kernel.Generate(p, c.Assignment)
 	if err != nil {
@@ -173,15 +206,18 @@ func Compile(algo *ir.Algorithm, t *topo.Topology, opts Options) (*Compiled, err
 }
 
 // CompileDSL parses ResCCLang source and compiles it, recording the
-// parse phase as well.
-func CompileDSL(src string, t *topo.Topology, opts Options) (*Compiled, error) {
+// parse phase as well. The parse itself is preceded by a ctx checkpoint.
+func CompileDSL(ctx context.Context, src string, t *topo.Topology, opts Options) (*Compiled, error) {
+	if err := checkpoint(ctx, "parse"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	algo, err := lang.Compile(src)
 	if err != nil {
 		return nil, err
 	}
 	parse := time.Since(start)
-	c, err := Compile(algo, t, opts)
+	c, err := Compile(ctx, algo, t, opts)
 	if err != nil {
 		return nil, err
 	}

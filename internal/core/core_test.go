@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestCompileDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := Compile(algo, tp, Options{})
+	c, err := Compile(context.Background(), algo, tp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +51,12 @@ func TestCompileRejectsIncorrectAlgorithm(t *testing.T) {
 			{Src: 1, Dst: 2, Step: 0, Chunk: 1, Type: ir.CommRecv},
 		},
 	}
-	if _, err := Compile(bad, tp, Options{}); err == nil {
+	if _, err := Compile(context.Background(), bad, tp, Options{}); err == nil {
 		t.Fatal("incomplete collective must fail verification")
 	}
 	// SkipVerify bypasses the data-plane gate (used by scalability
 	// studies) — the plan still compiles structurally.
-	if _, err := Compile(bad, tp, Options{SkipVerify: true}); err != nil {
+	if _, err := Compile(context.Background(), bad, tp, Options{SkipVerify: true}); err != nil {
 		t.Fatalf("SkipVerify compile failed: %v", err)
 	}
 }
@@ -70,7 +71,7 @@ def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
         for step in range(0, N-1):
             transfer(r, peer, step, (r-step)%N, recv)
 `
-	c, err := CompileDSL(src, tp, Options{})
+	c, err := CompileDSL(context.Background(), src, tp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ def ResCCLAlgo(nRanks=4, AlgoName="Ring", OpType="Allgather"):
 	if c.Algo.Name != "Ring" {
 		t.Errorf("algorithm name %q", c.Algo.Name)
 	}
-	if _, err := CompileDSL("garbage(", tp, Options{}); err == nil {
+	if _, err := CompileDSL(context.Background(), "garbage(", tp, Options{}); err == nil {
 		t.Error("bad source must fail")
 	}
 }
@@ -91,11 +92,11 @@ func TestAllocPolicies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conn, err := Compile(algo, tp, Options{Alloc: AllocConnectionBased})
+	conn, err := Compile(context.Background(), algo, tp, Options{Alloc: AllocConnectionBased})
 	if err != nil {
 		t.Fatal(err)
 	}
-	state, err := Compile(algo, tp, Options{Alloc: AllocStateBased})
+	state, err := Compile(context.Background(), algo, tp, Options{Alloc: AllocStateBased})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestAllocPolicies(t *testing.T) {
 		t.Errorf("state-based (%d TBs) worse than connection-based (%d)",
 			state.Kernel.NTBs(), conn.Kernel.NTBs())
 	}
-	if _, err := Compile(algo, tp, Options{Alloc: AllocPolicy(9)}); err == nil {
+	if _, err := Compile(context.Background(), algo, tp, Options{Alloc: AllocPolicy(9)}); err == nil {
 		t.Error("unknown alloc policy must fail")
 	}
 	if !strings.Contains(AllocStateBased.String(), "state") {
@@ -118,7 +119,7 @@ func TestPolicyOption(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pol := range []sched.Policy{sched.PolicyHPDS, sched.PolicyRR, sched.PolicySequential} {
-		c, err := Compile(algo, tp, Options{Policy: pol})
+		c, err := Compile(context.Background(), algo, tp, Options{Policy: pol})
 		if err != nil {
 			t.Fatalf("%v: %v", pol, err)
 		}
@@ -160,7 +161,7 @@ func TestEstimateStrategiesOrdering(t *testing.T) {
 	}
 	// The task-level estimate is a lower bound on the simulated ResCCL
 	// run, and should be within 2x of it.
-	c, err := Compile(algo, tp, Options{})
+	c, err := Compile(context.Background(), algo, tp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestTuneChunkSize(t *testing.T) {
 		t.Errorf("small-buffer chunk (%d) should not exceed large-buffer chunk (%d)", small, big)
 	}
 	// The tuned chunk must actually beat the default in simulation.
-	comp, err := Compile(algo, tp, Options{})
+	comp, err := Compile(context.Background(), algo, tp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -86,7 +87,7 @@ func TestPropertySweep(t *testing.T) {
 					if err := collective.Check(pc.algo); err != nil {
 						t.Fatalf("collective gate: %v", err)
 					}
-					c, err := Compile(pc.algo, tp, Options{Policy: pol})
+					c, err := Compile(context.Background(), pc.algo, tp, Options{Policy: pol})
 					if err != nil {
 						t.Fatalf("compile: %v", err)
 					}

@@ -1,6 +1,7 @@
 package plangen
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -62,7 +63,7 @@ func TestPipelineOnRandomPlans(t *testing.T) {
 		}
 		algo.Name = fmt.Sprintf("%s-%d", algo.Name, i)
 		for _, b := range backends {
-			plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+			plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 			if err != nil {
 				t.Fatalf("iter %d %s: compile: %v", i, b.Name(), err)
 			}

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func twoNodePlan(t *testing.T) (*topo.Topology, *backend.Plan) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestFaultOffPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -22,7 +23,7 @@ func twoNodePerNIC(t *testing.T) (*topo.Topology, *backend.Plan) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestReplanRankOut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestPermanentOffPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestReplanPartitionedTyped(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+		p, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
 			t.Fatal(err)
 		}

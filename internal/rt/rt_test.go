@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestAllKernelsExecuteCorrectly(t *testing.T) {
 		}
 		tp := topo.New(tc.nNodes, tc.gpn, topo.A100())
 		for _, b := range backends {
-			plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+			plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", tc.name, b.Name(), err)
 			}
@@ -65,7 +66,7 @@ func TestSingleMicroBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	tp := topo.New(1, 6, topo.A100())
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

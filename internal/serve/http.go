@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for requests
+// whose client went away before a response was produced. Nothing
+// receives the body, but access logs distinguish it from server faults.
+const StatusClientClosedRequest = 499
+
+// maxBodyBytes bounds request bodies so a tenant cannot exhaust memory
+// with one oversized POST.
+const maxBodyBytes = 1 << 20
+
+// retryAfterSeconds is the backoff hint attached to shed responses.
+const retryAfterSeconds = 1
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler builds the service's HTTP mux:
+//
+//	POST /v1/compile   CompileRequest  → CompileResponse
+//	POST /v1/simulate  SimulateRequest → SimulateResponse
+//	POST /v1/analyze   AnalyzeRequest  → AnalyzeResponse
+//	GET  /healthz      liveness (200 while the process serves)
+//	GET  /readyz       readiness (503 once draining)
+//	GET  /metricsz     deterministic JSON metrics snapshot
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		var req CompileRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Compile(r.Context(), &req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req SimulateRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Simulate(r.Context(), &req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req AnalyzeRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp, err := s.Analyze(r.Context(), &req)
+		respond(w, resp, err)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.WriteMetricsJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func respond(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		status, kind := classifyHTTP(err)
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		}
+		writeError(w, status, kind, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if encErr := json.NewEncoder(w).Encode(resp); encErr != nil {
+		// Headers are out; nothing more to do than drop the connection.
+		return
+	}
+}
+
+// classifyHTTP maps service errors to HTTP status codes: shed → 429
+// with Retry-After, draining → 503 with Retry-After, deadline → 504,
+// client-gone → 499, malformed → 400, the rest → 500.
+func classifyHTTP(err error) (status int, kind string) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests, "quota"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest, "cancelled"
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest, "invalid"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Kind: kind})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -11,7 +12,7 @@ import (
 
 func compile(t *testing.T, algo *ir.Algorithm, tp *topo.Topology) *kernelPlan {
 	t.Helper()
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

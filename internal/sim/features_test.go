@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestCongestionMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestMBBarrierSlower(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewMSCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewMSCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestTimelineSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

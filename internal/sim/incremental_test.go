@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -83,7 +84,7 @@ func TestIncrementalMatchesFullResolve(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tc.tp})
+			plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tc.tp})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +111,7 @@ func TestIncrementalMatchesFullResolveProtocols(t *testing.T) {
 	tp := topo.New(2, 8, topo.A100())
 	for _, proto := range []ir.Protocol{ir.ProtoLL, ir.ProtoLL128, ir.ProtoSimple} {
 		algo := &ir.Algorithm{Name: "eq-proto", Op: ir.OpAllReduce, NRanks: 16, NChunks: 16}
-		plan, err := backend.NewNCCL().Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
+		plan, err := backend.NewNCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func TestIncrementalMatchesFullResolveUnderFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestIncrementalMatchesFullResolveConcurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

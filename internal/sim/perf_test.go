@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -16,7 +17,7 @@ func BenchmarkLargeAllReduce(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	plan, err := backend.NewMSCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewMSCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestProbeBandwidthTable(t *testing.T) {
 		t.Logf("== %s 2x8 A100, algbw GB/s", pair.name)
 		plans := map[string]*backend.Plan{}
 		for _, b := range bks {
-			p, err := b.Compile(backend.Request{Algo: pair.algo, Topo: tp})
+			p, err := b.Compile(context.Background(), backend.Request{Algo: pair.algo, Topo: tp})
 			if err != nil {
 				t.Fatalf("%s: %v", b.Name(), err)
 			}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -15,7 +16,7 @@ var protoTiers = []ir.Protocol{ir.ProtoAuto, ir.ProtoLL, ir.ProtoLL128, ir.Proto
 func compileNCCL(t *testing.T, op ir.OpType, tp *topo.Topology, proto ir.Protocol) *backend.Plan {
 	t.Helper()
 	algo := &ir.Algorithm{Name: "p-" + op.String(), Op: op, NRanks: tp.NRanks(), NChunks: tp.NRanks()}
-	plan, err := backend.NewNCCL().Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
+	plan, err := backend.NewNCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestZeroByteTransfersTerminate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, proto := range protoTiers {
-		plan, err := backend.NewResCCL().Compile(backend.Request{Algo: a, Topo: tp, Protocol: proto})
+		plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: a, Topo: tp, Protocol: proto})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -12,7 +13,7 @@ import (
 
 func compileResCCL(t *testing.T, algo *ir.Algorithm, tp *topo.Topology) *backend.Plan {
 	t.Helper()
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestAllBackendsComplete(t *testing.T) {
 	}
 	backends := []backend.Backend{backend.NewNCCL(), backend.NewMSCCL(), backend.NewResCCL()}
 	for _, b := range backends {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+		plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -118,7 +119,7 @@ func TestResCCLFasterOnLargeBuffers(t *testing.T) {
 	}
 	bw := map[string]float64{}
 	for _, b := range []backend.Backend{backend.NewNCCL(), backend.NewMSCCL(), backend.NewResCCL()} {
-		plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+		plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name(), err)
 		}
@@ -141,7 +142,7 @@ func TestTBAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewMSCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewMSCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -27,7 +28,7 @@ func meshRun(t *testing.T) (*obs.Timeline, *core.Compiled, *topo.Topology, *sim.
 		t.Fatal(err)
 	}
 	tp := topo.New(1, 4, topo.A100())
-	c, err := core.Compile(algo, tp, core.Options{})
+	c, err := core.Compile(context.Background(), algo, tp, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func analyzed(t *testing.T, b backend.Backend) (*Utilization, *sim.Result) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRenderTimeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := backend.NewResCCL().Compile(backend.Request{Algo: algo, Topo: tp})
+	plan, err := backend.NewResCCL().Compile(context.Background(), backend.Request{Algo: algo, Topo: tp})
 	if err != nil {
 		t.Fatal(err)
 	}

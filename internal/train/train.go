@@ -8,6 +8,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -182,7 +183,7 @@ type sink struct {
 // carries a trace, the final (possibly faulted) run records its
 // timeline.
 func commTime(b backend.Backend, tp *topo.Topology, algo *ir.Algorithm, proto ir.Protocol, bufBytes int64, faultRate int, faultSeed int64, spec *fault.Schedule, o sink) (float64, int, error) {
-	plan, err := b.Compile(backend.Request{Algo: algo, Topo: tp, Protocol: proto})
+	plan, err := b.Compile(context.Background(), backend.Request{Algo: algo, Topo: tp, Protocol: proto})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -354,7 +355,7 @@ func dpGroupsTime(b backend.Backend, cfg Config, gradBytes int64) (float64, int,
 		if err != nil {
 			return 0, 0, err
 		}
-		plan, err := b.Compile(backend.Request{Algo: grp, Topo: tp, Protocol: cfg.Protocol})
+		plan, err := b.Compile(context.Background(), backend.Request{Algo: grp, Topo: tp, Protocol: cfg.Protocol})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -20,6 +20,7 @@
 package resccl
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -360,7 +361,7 @@ func (c *Communicator) resolveProtocol(s *runSettings, op Op, bufferBytes int64)
 // records the backend's compile stages into the call's trace sink and
 // counts cache traffic into its metrics.
 func (c *Communicator) plan(algo *Algorithm, s *runSettings, proto ir.Protocol) (*backend.Plan, error) {
-	p, hit, err := c.cache.CompileNoted(c.backend, backend.Request{Algo: algo, Topo: c.topo, Protocol: proto})
+	p, hit, err := c.cache.CompileNoted(context.Background(), c.backend, backend.Request{Algo: algo, Topo: c.topo, Protocol: proto})
 	if err != nil {
 		return nil, err
 	}
