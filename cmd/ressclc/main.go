@@ -11,6 +11,7 @@
 //	ressclc -list-algos
 //	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -simulate 1GiB
 //	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -vet
+//	ressclc -tune -nodes 2 -gpus 8 -out dispatch.json
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
 	"github.com/resccl/resccl/internal/trace"
+	"github.com/resccl/resccl/internal/tune"
 )
 
 func main() {
@@ -53,6 +55,9 @@ func main() {
 		algoName = flag.String("algo", "", "compile a registered expert algorithm by name instead of a DSL file (see -list-algos)")
 		listAlgo = flag.Bool("list-algos", false, "list the expert algorithm registry and exit")
 		vetMode  = flag.Bool("vet", false, "statically analyze the compiled plan (deadlock, hazard, feasibility, dead-code lints) and exit: 0 clean, 3 diagnostics")
+		tuneMode = flag.Bool("tune", false, "run the autotuning sweep on the -nodes/-gpus topology and emit a dispatch table (JSON to -out, or stdout)")
+		quick    = flag.Bool("quick", false, "with -tune: shrink the sweep grid and search effort for a fast smoke run")
+		seed     = flag.Int64("seed", 1, "with -tune: search seed; the same topology and seed emit byte-identical tables")
 	)
 	flag.Parse()
 	if *listAlgo {
@@ -83,7 +88,7 @@ func main() {
 		runLoadedPlan(*planIn, *simulate, *timeline, *execRT)
 		return
 	}
-	if *in == "" && *algoName == "" {
+	if *in == "" && *algoName == "" && !*tuneMode {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -135,6 +140,14 @@ func main() {
 		opts.Alloc = core.AllocConnectionBased
 	default:
 		fatal(fmt.Errorf("unknown allocation %q", *alloc))
+	}
+
+	if *tuneMode {
+		if *in != "" || *algoName != "" {
+			fatal(fmt.Errorf("-tune is mutually exclusive with -in and -algo"))
+		}
+		runTune(tp, *quick, *seed, *out)
+		return
 	}
 
 	var c *core.Compiled
@@ -239,6 +252,35 @@ func main() {
 		fmt.Printf("runtime:        %d TB goroutines executed %d invocations in %v; all %d micro-batches verified\n",
 			c.Kernel.NTBs(), res.Instances, res.Elapsed.Round(time.Microsecond), *execRT)
 	}
+}
+
+// runTune sweeps the topology and writes the emitted dispatch table:
+// JSON to outPath when given, stdout otherwise (summary on stderr so
+// the JSON stays pipeable).
+func runTune(tp *topo.Topology, quick bool, seed int64, outPath string) {
+	start := time.Now()
+	res, err := tune.Sweep(tp, tune.Options{Quick: quick, Parallel: true, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	data, err := res.Table.MarshalJSON()
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	summary := fmt.Sprintf("tuned %s: %d cells measured, %d dispatch entries, hash %s… (%v)",
+		tp, len(res.Cells), len(res.Table.Entries), res.Table.Hash()[:12],
+		time.Since(start).Round(time.Millisecond))
+	if outPath == "" {
+		os.Stdout.Write(data)
+		fmt.Fprintln(os.Stderr, summary)
+		return
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dispatch table: written to %s\n", outPath)
+	fmt.Println(summary)
 }
 
 // runLoadedPlan loads a serialized plan and simulates/executes it.

@@ -21,6 +21,10 @@ var (
 	// the registry, and by defaultAlgorithm selection for an operator
 	// with no default.
 	ErrUnknownAlgorithm = errors.New("resccl: unknown algorithm")
+	// ErrDispatchTable is returned when a dispatch table cannot serve
+	// the communicator: it was tuned for a different topology, or an
+	// entry is inconsistent with the communicator's shape.
+	ErrDispatchTable = errors.New("resccl: dispatch table mismatch")
 )
 
 // Runtime execution errors, re-exported so callers can classify

@@ -21,7 +21,7 @@ func Example() {
 		panic(err)
 	}
 	fmt.Printf("%s on %d ranks via %s: %d TBs per GPU\n",
-		run.Algorithm, comm.NRanks(), run.Backend, run.Utilization().TBs)
+		run.Algorithm(), comm.NRanks(), run.Backend, run.Utilization().TBs)
 	// Output:
 	// HM-AllReduce on 16 ranks via ResCCL: 16 TBs per GPU
 }

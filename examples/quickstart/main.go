@@ -32,7 +32,7 @@ func main() {
 		}
 		for _, run := range []*resccl.Run{ag, ar} {
 			fmt.Printf("%-14s %-10s %12v %14.1f %9.1f%%\n",
-				run.Algorithm, fmtBytes(run.BufferBytes), run.Completion.Round(1000),
+				run.Algorithm(), fmtBytes(run.BufferBytes), run.Completion.Round(1000),
 				run.AlgoBandwidth()/1e9, 100*run.LinkUtilization())
 		}
 	}

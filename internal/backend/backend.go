@@ -44,6 +44,11 @@ type Request struct {
 	// fingerprint, so forced and auto plans never collide. The zero
 	// value (auto) behaves as Simple.
 	Protocol ir.Protocol
+	// TuneHash identifies the dispatch-table generation that selected
+	// this plan (tune.Table.Hash), or "" for undispatched requests. It
+	// enters the cache fingerprint so a re-tuned table never serves a
+	// plan cached under an earlier generation.
+	TuneHash string
 }
 
 // Plan is a compiled, executable collective.

@@ -361,7 +361,14 @@ func fingerprint(b Backend, req Request) ([sha256.Size]byte, bool) {
 		return [sha256.Size]byte{}, false
 	}
 	h := sha256.New()
+	// Length-prefix the variable-length strings so (cfg, tuneHash)
+	// pairs can never alias each other.
+	writeInts(h, int64(len(cfg)))
 	io.WriteString(h, cfg)
+	// The dispatch-table generation that chose the plan is part of its
+	// identity: a re-tuned table must never serve a stale cached plan.
+	writeInts(h, int64(len(req.TuneHash)))
+	io.WriteString(h, req.TuneHash)
 	// The protocol tier is resolved before compilation (auto-selection
 	// happens at request time), so it is part of the compile identity:
 	// forced and auto-selected plans must never collide.

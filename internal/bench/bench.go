@@ -178,6 +178,7 @@ func Registry() []Experiment {
 		{"faulted", "Goodput under injected faults and runtime recovery (dynamic interference)", Faulted},
 		{"protocol-crossover", "NCCL protocol tiers: per-size completion and LL/LL128/Simple switch points", ProtocolCrossover},
 		{"scale", "Simulator scale sweep: events/sec and wall time vs rank count (hierarchical AllReduce)", Scale},
+		{"tune", "Autotuned dispatch: synthesized vs heuristic vs NCCL baseline per size bucket", TuneDispatch},
 	}
 }
 

@@ -55,6 +55,14 @@ func init() {
 	// Scale-out composition (synth): gpn chunks, one per rail, so plan
 	// size grows linearly with rank count instead of quadratically.
 	register("hier-allreduce", ir.OpAllReduce, 2, two(synth.HierAllReduce))
+	// Synthesized-plan emulations promoted from the synth package; the
+	// "synth:" prefix marks non-expert origin. Sketch-search output
+	// ("synth:sketch/...") is named, not registered: those plans rebuild
+	// from their encoded genome via synth.BuildNamed.
+	register("synth:taccl-allgather", ir.OpAllGather, 2, two(synth.TACCLAllGather))
+	register("synth:taccl-allreduce", ir.OpAllReduce, 2, two(synth.TACCLAllReduce))
+	register("synth:teccl-allgather", ir.OpAllGather, 2, two(synth.TECCLAllGather))
+	register("synth:teccl-allreduce", ir.OpAllReduce, 2, two(synth.TECCLAllReduce))
 }
 
 // Names returns every registered builder name, sorted.

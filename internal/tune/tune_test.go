@@ -1,0 +1,316 @@
+package tune
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fullSweep runs the full default sweep on the reference 2×8 A100 fabric
+// exactly once and shares the result between the golden, acceptance and
+// dispatch-optimality tests.
+var fullSweep = struct {
+	once sync.Once
+	res  *Result
+	err  error
+}{}
+
+func fullSweep2x8(t *testing.T) *Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	fullSweep.once.Do(func() {
+		tp := topo.New(2, 8, topo.A100())
+		fullSweep.res, fullSweep.err = Sweep(tp, Options{Parallel: true})
+	})
+	if fullSweep.err != nil {
+		t.Fatalf("full sweep: %v", fullSweep.err)
+	}
+	return fullSweep.res
+}
+
+func TestSweepDeterministicAcrossRuns(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	a, err := Sweep(tp, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(tp, Options{Quick: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.Table.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Table.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("serial and parallel sweeps diverged:\n%s\n---\n%s", aj, bj)
+	}
+	if a.Table.Hash() != b.Table.Hash() {
+		t.Fatal("hashes diverged for identical tables")
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts diverged: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Completion != b.Cells[i].Completion {
+			t.Fatalf("cell %d completion diverged", i)
+		}
+	}
+}
+
+// TestDispatchIsArgmin checks the table's central promise: every entry
+// names the cell with the lowest simulated completion among all
+// candidates and tiers measured at that entry's probe size.
+func TestDispatchIsArgmin(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	res, err := Sweep(tp, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArgmin(t, res)
+}
+
+func checkArgmin(t *testing.T, res *Result) {
+	t.Helper()
+	for _, e := range res.Table.Entries {
+		op, err := ir.ParseOpType(e.Op)
+		if err != nil {
+			t.Fatalf("entry op %q: %v", e.Op, err)
+		}
+		best := -1.0
+		for _, c := range res.Cells {
+			if c.Op != op || c.Bytes != e.ProbeBytes {
+				continue
+			}
+			if best < 0 || c.Completion < best {
+				best = c.Completion
+			}
+		}
+		if best < 0 {
+			t.Fatalf("entry %s@%d has no measured cells", e.Op, e.ProbeBytes)
+		}
+		if got := e.CompletionUS / 1e6; got != best {
+			t.Errorf("entry %s@%d dispatches %s at %g s, but the best cell ran in %g s",
+				e.Op, e.ProbeBytes, e.Algorithm, got, best)
+		}
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	res, err := Sweep(tp, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.Table.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != res.Table.Hash() {
+		t.Fatal("hash changed across a marshal/load round trip")
+	}
+	data2, err := back.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("bytes changed across a marshal/load round trip")
+	}
+}
+
+func TestValidateRejectsMalformedTables(t *testing.T) {
+	good := func() *Table {
+		return &Table{Version: Version, Topology: "2x4", Seed: 1, Entries: []Entry{
+			{Op: "Allreduce", MaxBytes: 1 << 20, Algorithm: "ring-allreduce", Protocol: "LL", ProbeBytes: 1 << 19},
+			{Op: "Allreduce", Algorithm: "hm-allreduce", Protocol: "Simple", ProbeBytes: 4 << 20},
+		}}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("baseline table invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Table)
+	}{
+		{"future version", func(t *Table) { t.Version = Version + 1 }},
+		{"zero version", func(t *Table) { t.Version = 0 }},
+		{"no entries", func(t *Table) { t.Entries = nil }},
+		{"bad op", func(t *Table) { t.Entries[0].Op = "Gather" }},
+		{"empty algorithm", func(t *Table) { t.Entries[0].Algorithm = "" }},
+		{"auto protocol", func(t *Table) { t.Entries[0].Protocol = "auto" }},
+		{"bad protocol", func(t *Table) { t.Entries[0].Protocol = "LL256" }},
+		{"negative bound", func(t *Table) { t.Entries[0].MaxBytes = -1 }},
+		{"descending buckets", func(t *Table) {
+			t.Entries[1].MaxBytes = 1 << 19
+			t.Entries = append(t.Entries, Entry{Op: "Allreduce", Algorithm: "x", Protocol: "LL", ProbeBytes: 1})
+		}},
+		{"bucket after unbounded", func(t *Table) {
+			t.Entries = append(t.Entries, Entry{Op: "Allreduce", MaxBytes: 8 << 20, Algorithm: "x", Protocol: "LL", ProbeBytes: 1})
+		}},
+	}
+	for _, tc := range cases {
+		tb := good()
+		tc.mut(tb)
+		if err := tb.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestLookupBuckets(t *testing.T) {
+	tb := &Table{Version: Version, Topology: "2x4", Seed: 1, Entries: []Entry{
+		{Op: "Allreduce", MaxBytes: 1 << 20, Algorithm: "small", Protocol: "LL", ProbeBytes: 1 << 19},
+		{Op: "Allreduce", MaxBytes: 32 << 20, Algorithm: "mid", Protocol: "LL128", ProbeBytes: 4 << 20},
+		{Op: "Allreduce", Algorithm: "large", Protocol: "Simple", ProbeBytes: 256 << 20},
+		{Op: "Allgather", MaxBytes: 8 << 20, Algorithm: "ag-only", Protocol: "Simple", ProbeBytes: 1 << 20},
+	}}
+	if err := tb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		op    ir.OpType
+		bytes int64
+		want  string
+		ok    bool
+	}{
+		{ir.OpAllReduce, 1, "small", true},
+		{ir.OpAllReduce, 1 << 20, "small", true},
+		{ir.OpAllReduce, 1<<20 + 1, "mid", true},
+		{ir.OpAllReduce, 1 << 30, "large", true},
+		{ir.OpAllGather, 4 << 20, "ag-only", true},
+		// Beyond every bounded bucket with no unbounded fallback, the
+		// last bucket serves.
+		{ir.OpAllGather, 64 << 20, "ag-only", true},
+		{ir.OpReduceScatter, 1 << 20, "", false},
+	}
+	for _, tc := range cases {
+		e, ok := tb.Lookup(tc.op, tc.bytes)
+		if ok != tc.ok || (ok && e.Algorithm != tc.want) {
+			t.Errorf("Lookup(%v, %d) = %q/%v, want %q/%v", tc.op, tc.bytes, e.Algorithm, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestHashChangesWithContent(t *testing.T) {
+	tb := &Table{Version: Version, Topology: "2x4", Seed: 1, Entries: []Entry{
+		{Op: "Allreduce", Algorithm: "ring-allreduce", Protocol: "Simple", ProbeBytes: 1 << 20},
+	}}
+	h1 := tb.Hash()
+	tb.Entries[0].Algorithm = "hm-allreduce"
+	if tb.Hash() == h1 {
+		t.Fatal("hash insensitive to entry content")
+	}
+}
+
+// TestGoldenDispatch pins the full 2×8 A100 sweep: the emitted table
+// must be byte-identical to testdata/dispatch.golden. Regenerate with
+//
+//	go test ./internal/tune -run TestGoldenDispatch -update
+func TestGoldenDispatch(t *testing.T) {
+	res := fullSweep2x8(t)
+	got, err := res.Table.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "dispatch.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("dispatch table drifted from golden (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	checkArgmin(t, res)
+}
+
+// TestFullSweepCrossesAlgorithms checks the tuned table exercises the
+// size-dependent crossovers the paper motivates: the 2×8 A100 table
+// must not dispatch one (algorithm, protocol) pair for every size.
+func TestFullSweepCrossesAlgorithms(t *testing.T) {
+	res := fullSweep2x8(t)
+	byOp := map[string]map[string]bool{}
+	for _, e := range res.Table.Entries {
+		if byOp[e.Op] == nil {
+			byOp[e.Op] = map[string]bool{}
+		}
+		byOp[e.Op][e.Algorithm+"/"+e.Protocol] = true
+	}
+	for op, picks := range byOp {
+		if len(picks) < 2 {
+			t.Errorf("%s: table dispatches a single pick for every size — no crossover found", op)
+		}
+	}
+}
+
+// TestSynthesizedPlanWins is the acceptance gate: on the reference 2×8
+// A100 fabric the sketch search must discover at least one plan that
+// beats every registered algorithm at some swept size.
+func TestSynthesizedPlanWins(t *testing.T) {
+	res := fullSweep2x8(t)
+	type key struct {
+		op    ir.OpType
+		bytes int64
+	}
+	bestSynth := map[key]float64{}
+	bestReg := map[key]float64{}
+	for _, c := range res.Cells {
+		k := key{c.Op, c.Bytes}
+		m := bestReg
+		if c.Candidate.Synth {
+			m = bestSynth
+		}
+		if v, ok := m[k]; !ok || c.Completion < v {
+			m[k] = c.Completion
+		}
+	}
+	for k, synth := range bestSynth {
+		if reg, ok := bestReg[k]; ok && synth < reg {
+			t.Logf("synthesized plan wins %v at %d bytes: %.3g s vs %.3g s registered",
+				k.op, k.bytes, synth, reg)
+			return
+		}
+	}
+	t.Fatal("no synthesized plan beat the registered algorithms at any swept size")
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	if _, err := Sweep(nil, Options{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	tp := topo.New(2, 2, topo.A100())
+	_, err := Sweep(tp, Options{Ops: []ir.OpType{ir.OpBroadcast}, Quick: true, Protocols: []ir.Protocol{ir.ProtoLL}, Sizes: []int64{1 << 30}})
+	if err == nil {
+		t.Fatal("size with no covering tier accepted")
+	}
+	if !strings.Contains(err.Error(), "tier") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package resccl
 import (
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/obs"
+	"github.com/resccl/resccl/internal/tune"
 )
 
 // Trace collects observability spans (compile stages, execution) and
@@ -48,6 +49,20 @@ type runSettings struct {
 	trace      *obs.Trace
 	metrics    *obs.Metrics
 	timeline   bool
+	// dispatch is an explicit dispatch table (WithDispatchTable);
+	// dispatchAuto asks for the communicator's lazily autotuned table
+	// (WithAutotune). Per-call settings replace the communicator
+	// default wholesale, so a per-call table wins over a default
+	// WithAutotune and vice versa.
+	dispatch     *tune.Table
+	dispatchAuto bool
+	// tuneHash is set when a table picked the call's algorithm; it
+	// enters the plan-cache fingerprint so re-tuned tables never serve
+	// plans cached under an earlier generation. dispatchName is the
+	// table's pick (the registry key or encoded sketch name), reported
+	// by Run.Algorithm instead of the plan's display name.
+	tuneHash     string
+	dispatchName string
 }
 
 type commOption func(*Communicator)
@@ -86,6 +101,37 @@ func WithChunkBytes(n int64) CommRunOption {
 // auto-selected plans are cached under distinct fingerprints.
 func WithProtocol(p Protocol) CommRunOption {
 	return dualOption{run: func(s *runSettings) { s.protocol = p }}
+}
+
+// WithDispatchTable routes operator-level calls (AllReduce, AllGather,
+// …) through a tuned dispatch table: each call runs the algorithm and
+// protocol tier the table measured fastest for its message size, and
+// Run.Algorithm reports the pick. Usable per communicator or per call;
+// the per-call setting wins, and a nil table restores the built-in
+// defaults. A forced WithProtocol still overrides the table's tier.
+// RunAlgorithm is never redirected — explicit algorithms bypass
+// dispatch.
+func WithDispatchTable(t *DispatchTable) CommRunOption {
+	return dualOption{run: func(s *runSettings) {
+		s.dispatchAuto = false
+		if t == nil {
+			s.dispatch = nil
+			return
+		}
+		s.dispatch = t.t
+	}}
+}
+
+// WithAutotune dispatches operator-level calls through the
+// communicator's own autotuned table, running the tuning sweep lazily
+// on first use (once per communicator — subsequent calls reuse it; see
+// Communicator.Tune to run it eagerly or export the table). Usable per
+// communicator or per call; per-call WithDispatchTable overrides it.
+func WithAutotune() CommRunOption {
+	return dualOption{run: func(s *runSettings) {
+		s.dispatch = nil
+		s.dispatchAuto = true
+	}}
 }
 
 // WithAutoTunedChunks picks the chunk size per call from the Eq. 5

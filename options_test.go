@@ -308,22 +308,25 @@ def ResCCLAlgo(nRanks=8, AlgoName="Bcast", OpType="Broadcast"):
 	}
 }
 
-func TestDeprecatedAlgorithmsStructStillWorks(t *testing.T) {
-	// Old call sites keep compiling and agree with the registry.
-	//lint:ignore SA1019 this test exists to cover the deprecated catalog
-	a1, err := resccl.Algorithms.RingAllReduce(8)
+func TestRegistryListsSynthesizedPlans(t *testing.T) {
+	names := strings.Join(resccl.AlgorithmNames(), " ")
+	for _, want := range []string{"ring-allreduce", "synth:taccl-allreduce", "synth:teccl-allgather"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("registry missing %s", want)
+		}
+	}
+	if _, err := resccl.BuildAlgorithm("synth:taccl-allreduce", 2, 8); err != nil {
+		t.Errorf("promoted synthesized plan does not build: %v", err)
+	}
+	// Sketch plans build by name alone — the genome encodes the shape.
+	algo, err := resccl.BuildAlgorithm("synth:sketch/ar/2x8/im-er-s1-r6")
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("sketch plan by name: %v", err)
 	}
-	a2, err := resccl.BuildAlgorithm("ring-allreduce", 8)
-	if err != nil {
-		t.Fatal(err)
+	if algo.NRanks != 16 {
+		t.Errorf("sketch plan ranks = %d, want 16", algo.NRanks)
 	}
-	if a1.Name != a2.Name || len(a1.Transfers) != len(a2.Transfers) {
-		t.Errorf("struct and registry builders disagree: %s/%d vs %s/%d",
-			a1.Name, len(a1.Transfers), a2.Name, len(a2.Transfers))
-	}
-	if !strings.Contains(strings.Join(resccl.AlgorithmNames(), " "), "ring-allreduce") {
-		t.Error("registry missing ring-allreduce")
+	if _, err := resccl.BuildAlgorithm("synth:sketch/ar/2x8/im-er-s1-r6", 16); err == nil {
+		t.Error("sketch plan accepted parameters")
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"github.com/resccl/resccl/internal/expert"
+	"github.com/resccl/resccl/internal/synth"
 )
 
-// AlgorithmInfo describes one entry of the expert algorithm registry.
+// AlgorithmInfo describes one entry of the algorithm registry.
 type AlgorithmInfo struct {
 	// Name is the registry key ("ring-allreduce", "hm-allgather", …).
+	// Synthesized-plan emulations carry a "synth:" prefix.
 	Name string
 	// Op is the collective operator the algorithm implements.
 	Op Op
@@ -18,8 +20,10 @@ type AlgorithmInfo struct {
 	NParams int
 }
 
-// AlgorithmNames returns the names of every expert algorithm builder,
-// sorted. Each can be instantiated with BuildAlgorithm.
+// AlgorithmNames returns the names of every registered algorithm
+// builder, sorted — expert-designed algorithms plus the promoted
+// synthesized plans ("synth:" prefix). Each can be instantiated with
+// BuildAlgorithm.
 func AlgorithmNames() []string { return expert.Names() }
 
 // AlgorithmRegistry returns the full registry, sorted by name.
@@ -32,10 +36,22 @@ func AlgorithmRegistry() []AlgorithmInfo {
 	return out
 }
 
-// BuildAlgorithm constructs a registered expert algorithm by name. Flat
+// BuildAlgorithm constructs a registered algorithm by name. Flat
 // algorithms take one parameter (nRanks); hierarchical ones take two
-// (nNodes, gpusPerNode). Unknown names return ErrUnknownAlgorithm.
+// (nNodes, gpusPerNode). Synthesized sketch plans ("synth:sketch/…",
+// the names dispatch tables record) encode their shape in the name and
+// take no parameters. Unknown names return ErrUnknownAlgorithm.
 func BuildAlgorithm(name string, params ...int) (*Algorithm, error) {
+	if synth.IsSketchName(name) {
+		if len(params) != 0 {
+			return nil, fmt.Errorf("resccl: sketch plan %q encodes its shape; BuildAlgorithm takes no parameters for it, got %d", name, len(params))
+		}
+		algo, err := synth.BuildNamed(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q: %v", ErrUnknownAlgorithm, name, err)
+		}
+		return algo, nil
+	}
 	if _, ok := expert.Lookup(name); !ok {
 		return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownAlgorithm, name, expert.Names())
 	}

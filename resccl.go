@@ -22,6 +22,7 @@ package resccl
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -35,6 +36,7 @@ import (
 	"github.com/resccl/resccl/internal/sim"
 	"github.com/resccl/resccl/internal/topo"
 	"github.com/resccl/resccl/internal/trace"
+	"github.com/resccl/resccl/internal/tune"
 )
 
 // Op identifies a collective operator.
@@ -137,6 +139,12 @@ type Communicator struct {
 
 	backend backend.Backend
 	cache   *backend.Cache
+
+	// Lazily autotuned dispatch table (WithAutotune / Tune); the sweep
+	// runs at most once per communicator, error included.
+	tuneOnce sync.Once
+	tuned    *tune.Table
+	tuneErr  error
 }
 
 // NewCommunicator creates a communicator over tp.
@@ -174,9 +182,8 @@ func (c *Communicator) NRanks() int { return c.topo.NRanks() }
 
 // Run is the outcome of one collective execution.
 type Run struct {
-	// Backend and Algorithm identify the executed plan.
-	Backend   string
-	Algorithm string
+	// Backend identifies the backend that executed the plan.
+	Backend string
 	// BufferBytes is the per-rank payload.
 	BufferBytes int64
 	// Protocol is the transport protocol tier the plan ran under —
@@ -187,10 +194,17 @@ type Run struct {
 	// Completion is the simulated wall time of the collective.
 	Completion time.Duration
 
-	result   *sim.Result
-	util     *trace.Utilization
-	timeline *obs.Timeline
+	algorithm string
+	result    *sim.Result
+	util      *trace.Utilization
+	timeline  *obs.Timeline
 }
+
+// Algorithm returns the name of the executed algorithm. For calls
+// dispatched through a DispatchTable this is the table's pick — a
+// registry name ("hm-allreduce") or an encoded synthesized plan
+// ("synth:sketch/…") — so callers can observe what the autotuner chose.
+func (r *Run) Algorithm() string { return r.algorithm }
 
 // AlgoBandwidth returns BufferBytes/Completion in bytes/s — the
 // "algorithm bandwidth" metric of §5.2.
@@ -283,22 +297,49 @@ func (c *Communicator) AllToAll(bufferBytes int64, opts ...RunOption) (*Run, err
 	return c.runOp(AllToAll, bufferBytes, opts)
 }
 
+// runOp executes an operator-level call. With a dispatch table in
+// effect (WithDispatchTable or WithAutotune, per call or
+// communicator-wide) the table picks the algorithm and protocol tier
+// for the call's size; otherwise the built-in defaultAlgorithm runs.
 func (c *Communicator) runOp(op Op, bufferBytes int64, opts []RunOption) (*Run, error) {
-	algo, err := c.defaultAlgorithm(op)
-	if err != nil {
-		return nil, err
-	}
-	return c.RunAlgorithm(algo, bufferBytes, opts...)
-}
-
-// RunAlgorithm compiles (or reuses a cached plan for) the algorithm and
-// executes it with the given per-rank payload. Per-call RunOptions
-// override the communicator's defaults.
-func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...RunOption) (*Run, error) {
 	if bufferBytes <= 0 {
 		return nil, fmt.Errorf("%w: got %d", ErrInvalidBuffer, bufferBytes)
 	}
 	s := c.settings(opts)
+	table, err := c.dispatchTable(&s)
+	if err != nil {
+		return nil, err
+	}
+	if table != nil {
+		if e, ok := table.Lookup(op, bufferBytes); ok {
+			algo, err := c.dispatch(table, e, &s)
+			if err != nil {
+				return nil, err
+			}
+			return c.run(algo, bufferBytes, s)
+		}
+		// The table has no bucket for this operator (a sweep over a
+		// subset of ops); fall through to the built-in default.
+	}
+	algo, err := c.defaultAlgorithm(op)
+	if err != nil {
+		return nil, err
+	}
+	return c.run(algo, bufferBytes, s)
+}
+
+// RunAlgorithm compiles (or reuses a cached plan for) the algorithm and
+// executes it with the given per-rank payload. Per-call RunOptions
+// override the communicator's defaults. Explicit algorithms bypass
+// dispatch tables — the caller already chose the plan.
+func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...RunOption) (*Run, error) {
+	if bufferBytes <= 0 {
+		return nil, fmt.Errorf("%w: got %d", ErrInvalidBuffer, bufferBytes)
+	}
+	return c.run(algo, bufferBytes, c.settings(opts))
+}
+
+func (c *Communicator) run(algo *Algorithm, bufferBytes int64, s runSettings) (*Run, error) {
 	plan, err := c.plan(algo, &s, c.resolveProtocol(&s, algo.Op, bufferBytes))
 	if err != nil {
 		return nil, err
@@ -326,12 +367,16 @@ func (c *Communicator) RunAlgorithm(algo *Algorithm, bufferBytes int64, opts ...
 	s.metrics.Add("sim.events", int64(res.Events))
 	s.metrics.Add("sim.instances", int64(res.Instances))
 	trace.LinkBusyGauges(s.metrics, c.topo, res.LinkBusy)
+	name := plan.Algo.Name
+	if s.dispatchName != "" {
+		name = s.dispatchName
+	}
 	run := &Run{
 		Backend:     plan.Backend,
-		Algorithm:   plan.Algo.Name,
 		BufferBytes: bufferBytes,
 		Protocol:    plan.Kernel.Protocol,
 		Completion:  time.Duration(res.Completion * float64(time.Second)),
+		algorithm:   name,
 		result:      res,
 		util:        trace.Analyze(plan.Kernel, res, plan.Backend),
 	}
@@ -357,11 +402,14 @@ func (c *Communicator) resolveProtocol(s *runSettings, op Op, bufferBytes int64)
 
 // plan compiles the algorithm with the communicator's backend through
 // the structural plan cache (keyed on backend configuration, algorithm
-// transfers and topology — not just the algorithm's name). On a miss it
-// records the backend's compile stages into the call's trace sink and
-// counts cache traffic into its metrics.
+// transfers, topology and — for dispatched runs — the dispatch table's
+// content hash, not just the algorithm's name). On a miss it records
+// the backend's compile stages into the call's trace sink and counts
+// cache traffic into its metrics.
 func (c *Communicator) plan(algo *Algorithm, s *runSettings, proto ir.Protocol) (*backend.Plan, error) {
-	p, hit, err := c.cache.CompileNoted(context.Background(), c.backend, backend.Request{Algo: algo, Topo: c.topo, Protocol: proto})
+	p, hit, err := c.cache.CompileNoted(context.Background(), c.backend, backend.Request{
+		Algo: algo, Topo: c.topo, Protocol: proto, TuneHash: s.tuneHash,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -432,10 +480,10 @@ func (c *Communicator) RunConcurrently(algos []*Algorithm, bufferBytes []int64, 
 		s.metrics.Add("sim.instances", int64(res.Instances))
 		runs[i] = &Run{
 			Backend:     plan.Backend,
-			Algorithm:   plan.Algo.Name,
 			BufferBytes: bufferBytes[i],
 			Protocol:    plan.Kernel.Protocol,
 			Completion:  time.Duration(res.Completion * float64(time.Second)),
+			algorithm:   plan.Algo.Name,
 			result:      res,
 			util:        trace.Analyze(plan.Kernel, res, plan.Backend),
 		}
@@ -472,44 +520,4 @@ func (c *Communicator) ExecuteAlgorithm(algo *Algorithm, microBatches int, opts 
 	s.metrics.Add("rt.instances", int64(res.Instances))
 	s.metrics.Add("rt.replans", int64(len(res.ReplanEvents)))
 	return res.Verify()
-}
-
-// Algorithms exposes the library of expert-designed algorithm builders.
-// Synthesized-plan emulations live in the bench harness.
-//
-// Deprecated: use the registry (AlgorithmNames, BuildAlgorithm), which
-// covers the same builders by name and does not grow a struct field per
-// algorithm. Kept for source compatibility.
-var Algorithms = struct {
-	RingAllGather         func(nRanks int) (*Algorithm, error)
-	RingAllReduce         func(nRanks int) (*Algorithm, error)
-	RingReduceScatter     func(nRanks int) (*Algorithm, error)
-	TreeAllReduce         func(nRanks int) (*Algorithm, error)
-	BruckAllGather        func(nRanks int) (*Algorithm, error)
-	RHDAllReduce          func(nRanks int) (*Algorithm, error)
-	MeshAllGather         func(nRanks int) (*Algorithm, error)
-	MeshAllReduce         func(nRanks int) (*Algorithm, error)
-	BinomialBroadcast     func(nRanks int) (*Algorithm, error)
-	DirectAllToAll        func(nRanks int) (*Algorithm, error)
-	HMAllGather           func(nNodes, gpusPerNode int) (*Algorithm, error)
-	HMAllReduce           func(nNodes, gpusPerNode int) (*Algorithm, error)
-	HMReduceScatter       func(nNodes, gpusPerNode int) (*Algorithm, error)
-	HierarchicalBroadcast func(nNodes, gpusPerNode int) (*Algorithm, error)
-	HierarchicalAllToAll  func(nNodes, gpusPerNode int) (*Algorithm, error)
-}{
-	RingAllGather:         expert.RingAllGather,
-	RingAllReduce:         expert.RingAllReduce,
-	RingReduceScatter:     expert.RingReduceScatter,
-	TreeAllReduce:         expert.TreeAllReduce,
-	BruckAllGather:        expert.BruckAllGather,
-	RHDAllReduce:          expert.RHDAllReduce,
-	MeshAllGather:         expert.MeshAllGather,
-	MeshAllReduce:         expert.MeshAllReduce,
-	BinomialBroadcast:     expert.BinomialBroadcast,
-	DirectAllToAll:        expert.DirectAllToAll,
-	HMAllGather:           expert.HMAllGather,
-	HMAllReduce:           expert.HMAllReduce,
-	HMReduceScatter:       expert.HMReduceScatter,
-	HierarchicalBroadcast: expert.HierarchicalBroadcast,
-	HierarchicalAllToAll:  expert.HierarchicalAllToAll,
 }

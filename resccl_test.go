@@ -30,16 +30,16 @@ func TestCommunicatorCollectives(t *testing.T) {
 			t.Fatal(err)
 		}
 		if run.AlgoBandwidth() <= 0 {
-			t.Errorf("%s: nonpositive bandwidth", run.Algorithm)
+			t.Errorf("%s: nonpositive bandwidth", run.Algorithm())
 		}
 		if run.Completion <= 0 {
-			t.Errorf("%s: nonpositive completion", run.Algorithm)
+			t.Errorf("%s: nonpositive completion", run.Algorithm())
 		}
 		if run.MicroBatches() < 1 {
-			t.Errorf("%s: no micro-batches", run.Algorithm)
+			t.Errorf("%s: no micro-batches", run.Algorithm())
 		}
 		if u := run.LinkUtilization(); u <= 0 || u > 1.000001 {
-			t.Errorf("%s: link utilization %f out of range", run.Algorithm, u)
+			t.Errorf("%s: link utilization %f out of range", run.Algorithm(), u)
 		}
 	}
 }
@@ -105,8 +105,8 @@ def ResCCLAlgo(nRanks=8, AlgoName="Ring", OpType="Allgather"):
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.Algorithm != "Ring" {
-		t.Errorf("algorithm name %q, want Ring", run.Algorithm)
+	if run.Algorithm() != "Ring" {
+		t.Errorf("algorithm name %q, want Ring", run.Algorithm())
 	}
 	// Plan caching: a second run must reuse the compiled plan and be
 	// deterministic.
