@@ -1,8 +1,15 @@
 // Command resccl-analyzers is a `go vet -vettool` backend enforcing the
-// repository's determinism contract (see internal/analyzers): the
-// packages that must produce byte-identical traces across runs —
-// internal/sim, internal/sched, internal/obs — may not read the host
-// clock, draw from the global math/rand source, or iterate maps.
+// repository's static contracts (see internal/analyzers):
+//
+//   - determinism: the packages that must produce byte-identical traces
+//     across runs — internal/sim, internal/sched, internal/obs — may
+//     not read the host clock, draw from the global math/rand source,
+//     or iterate maps;
+//   - concurrency: the packages hosting cancellable work and locks —
+//     internal/serve, internal/backend, internal/tune, internal/bench —
+//     must propagate caller contexts (ctxflow), keep a consistent
+//     mutex acquisition order (lockorder), and give every goroutine a
+//     join or cancellation path (goleak).
 //
 // Usage:
 //
@@ -23,8 +30,8 @@
 //     type-checking.
 //
 // Findings are printed to stderr as file:line:col: message and the tool
-// exits 2, which `go vet` reports as a failure. Packages outside the
-// determinism contract type-check trivially to an empty result.
+// exits 2, which `go vet` reports as a failure. Packages outside every
+// analyzer's scope type-check trivially to an empty result.
 package main
 
 import (
@@ -67,7 +74,7 @@ func main() {
 		case "-V=full", "--V=full":
 			// The version string feeds go's build cache key; bump it when
 			// the analyzers change behaviour.
-			fmt.Println("resccl-analyzers version 1")
+			fmt.Println("resccl-analyzers version 2")
 			return
 		case "-flags", "--flags":
 			fmt.Println("[]")
@@ -106,7 +113,7 @@ func run(cfgPath string) (int, error) {
 			return 0, err
 		}
 	}
-	if cfg.VetxOnly || !analyzers.Deterministic(cfg.ImportPath) {
+	if cfg.VetxOnly || !analyzers.Covered(cfg.ImportPath) {
 		return 0, nil
 	}
 
@@ -161,7 +168,7 @@ func run(cfgPath string) (int, error) {
 		return 0, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
 	}
 
-	ds := analyzers.Run(fset, files, info)
+	ds := analyzers.RunAll(cfg.ImportPath, fset, files, info)
 	for _, d := range ds {
 		pos := fset.Position(d.Pos)
 		fmt.Fprintf(os.Stderr, "%s: %s\n", pos, d.Message)

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -124,6 +126,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := bench.Options{
 		Quick:    *quick,
 		Parallel: *parallel,
@@ -132,6 +136,7 @@ func main() {
 		Stats:    stats,
 		Trace:    tr,
 		Protocol: proto,
+		Ctx:      ctx,
 	}
 	var exps []bench.Experiment
 	if *exp == "all" {

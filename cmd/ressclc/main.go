@@ -10,7 +10,8 @@
 //	        [-alloc state|conn] [-dump-kernel] [-simulate 1GiB]
 //	ressclc -list-algos
 //	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -simulate 1GiB
-//	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -vet
+//	ressclc -algo hm-allreduce -nodes 2 -gpus 8 -vet [-strict]
+//	        [-budget 32] [-max-gap 150] [-cert-out cert.json]
 //	ressclc -tune -nodes 2 -gpus 8 -out dispatch.json
 package main
 
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"github.com/resccl/resccl/internal/analyze"
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/core"
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/kernel"
@@ -54,7 +56,11 @@ func main() {
 		planIn   = flag.String("plan", "", "load a previously compiled plan file instead of compiling -in")
 		algoName = flag.String("algo", "", "compile a registered expert algorithm by name instead of a DSL file (see -list-algos)")
 		listAlgo = flag.Bool("list-algos", false, "list the expert algorithm registry and exit")
-		vetMode  = flag.Bool("vet", false, "statically analyze the compiled plan (deadlock, hazard, feasibility, dead-code lints) and exit: 0 clean, 3 diagnostics")
+		vetMode  = flag.Bool("vet", false, "statically analyze the compiled plan (deadlock, hazard, feasibility, dead-code and resource-budget lints) and exit: 0 clean or warnings only, 3 errors (any diagnostic with -strict)")
+		strict   = flag.Bool("strict", false, "with -vet: promote warnings to errors, so any diagnostic exits 3 (CI gates)")
+		budgetTB = flag.Int("budget", 0, "with -vet: SM/channel budget — the max concurrently active thread blocks per rank before the budget-tb lint fires (0 = default 32)")
+		maxGap   = flag.Float64("max-gap", 0, "with -vet: certify the plan and warn when its optimality gap exceeds this percentage above the α–β lower bound (0 disables)")
+		certOut  = flag.String("cert-out", "", "with -vet: certify the plan at 64 MiB and write the resource-efficiency certificate JSON to this path ('-' for stdout)")
 		tuneMode = flag.Bool("tune", false, "run the autotuning sweep on the -nodes/-gpus topology and emit a dispatch table (JSON to -out, or stdout)")
 		quick    = flag.Bool("quick", false, "with -tune: shrink the sweep grid and search effort for a fast smoke run")
 		seed     = flag.Int64("seed", 1, "with -tune: search seed; the same topology and seed emit byte-identical tables")
@@ -77,12 +83,12 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			k, _, err := kernel.Load(f)
+			k, ktp, err := kernel.Load(f)
 			f.Close()
 			if err != nil {
 				fatal(err)
 			}
-			vetPlan(k)
+			vetPlan(k, ktp, vetConfig{strict: *strict, budgetTB: *budgetTB, maxGap: *maxGap, certOut: *certOut})
 			return
 		}
 		runLoadedPlan(*planIn, *simulate, *timeline, *execRT)
@@ -180,7 +186,7 @@ func main() {
 	}
 
 	if *vetMode {
-		vetPlan(c.Kernel)
+		vetPlan(c.Kernel, tp, vetConfig{strict: *strict, budgetTB: *budgetTB, maxGap: *maxGap, certOut: *certOut})
 		return
 	}
 
@@ -259,7 +265,7 @@ func main() {
 // the JSON stays pipeable).
 func runTune(tp *topo.Topology, quick bool, seed int64, outPath string) {
 	start := time.Now()
-	res, err := tune.Sweep(tp, tune.Options{Quick: quick, Parallel: true, Seed: seed})
+	res, err := tune.Sweep(context.Background(), tp, tune.Options{Quick: quick, Parallel: true, Seed: seed})
 	if err != nil {
 		fatal(err)
 	}
@@ -354,17 +360,54 @@ func parseSize(s string) (int64, error) {
 	return int64(v * float64(mult)), nil
 }
 
-// vetPlan runs the full static analysis suite over a compiled plan and
-// exits with the vet convention: 0 when the plan is clean, 3 when any
-// diagnostic (error or warning) fired. Operational failures keep the
+// vetConfig carries the -vet mode's resource-certification knobs.
+type vetConfig struct {
+	strict   bool
+	budgetTB int
+	maxGap   float64
+	certOut  string
+}
+
+// vetPlan runs the full static analysis suite — plus the
+// resource-budget lints and, when requested, full certification — over
+// a compiled plan and exits with the vet convention: 0 when the plan is
+// clean or carries only warnings, 3 when any error fired (-strict
+// promotes warnings to errors). Operational failures keep the
 // compiler's usual exit 1.
-func vetPlan(k *kernel.Kernel) {
+func vetPlan(k *kernel.Kernel, tp *topo.Topology, cfg vetConfig) {
 	r, err := analyze.Plan(k, analyze.Options{})
 	if err != nil {
 		fatal(err)
 	}
+	if tp != nil {
+		copts := cert.Options{Budget: cert.Budget{MaxTBsPerRank: cfg.budgetTB}}
+		r.Attach(k.Graph, cert.BudgetLints(k, tp, copts)...)
+		if cfg.maxGap > 0 || cfg.certOut != "" {
+			crt, err := cert.Certify(k, tp, copts)
+			if err != nil {
+				fatal(err)
+			}
+			r.Attach(k.Graph, cert.GapLint(crt, cfg.maxGap)...)
+			if cfg.certOut != "" {
+				data, err := crt.MarshalIndent()
+				if err != nil {
+					fatal(err)
+				}
+				data = append(data, '\n')
+				if cfg.certOut == "-" {
+					os.Stdout.Write(data)
+				} else if err := os.WriteFile(cfg.certOut, data, 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
 	fmt.Print(r.String())
-	if errs, warns, _ := r.Counts(); errs+warns > 0 {
+	errs, warns, _ := r.Counts()
+	if cfg.strict {
+		errs += warns
+	}
+	if errs > 0 {
 		os.Exit(3)
 	}
 }

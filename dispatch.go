@@ -1,6 +1,7 @@
 package resccl
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/resccl/resccl/internal/expert"
@@ -65,7 +66,7 @@ func (c *Communicator) Tune() (*DispatchTable, error) {
 // autotuned lazily runs the sweep, caching table and error alike.
 func (c *Communicator) autotuned() (*tune.Table, error) {
 	c.tuneOnce.Do(func() {
-		res, err := tune.Sweep(c.topo, tune.Options{Parallel: true})
+		res, err := tune.Sweep(context.Background(), c.topo, tune.Options{Parallel: true})
 		if err != nil {
 			c.tuneErr = fmt.Errorf("resccl: autotune: %w", err)
 			return

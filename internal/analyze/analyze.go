@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"github.com/resccl/resccl/internal/analyze/invariant"
+	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
 )
@@ -167,8 +168,8 @@ func (d Diag) String() string {
 }
 
 // Report is the outcome of one analysis: the plan identity and every
-// diagnostic, sorted deterministically (severity, code, tasks,
-// message).
+// diagnostic, sorted deterministically (severity, pass code, the
+// primary task's step and rank, task ID, message).
 type Report struct {
 	Kernel string
 	Checks Checks
@@ -242,7 +243,29 @@ func (r *Report) addLimited(ds []Diag, max int) {
 	})
 }
 
-func (r *Report) finalize() {
+// diagKey resolves the (step, rank) of a diagnostic's primary task:
+// the schedule position its pass fired at. Diagnostics without tasks
+// (plan-wide notes) sort first within their code via (-1, -1).
+func diagKey(d Diag, g *dag.Graph) (step, rank int) {
+	if len(d.Tasks) == 0 || g == nil {
+		return -1, -1
+	}
+	t := int(d.Tasks[0])
+	if t < 0 || t >= len(g.Tasks) {
+		return -1, -1
+	}
+	task := g.Tasks[t]
+	return int(task.Step), int(task.Src)
+}
+
+// sortDiags restores the canonical diagnostic order: severity, then
+// pass (code), then the primary task's (step, rank) schedule position,
+// then task ID and message. Keying on (pass, step, rank) before the
+// raw task ID keeps the order stable when several passes fire at the
+// same step: task IDs are dense in (step, chunk, src, dst) order, so
+// two passes reporting the same step through different tasks would
+// otherwise interleave unpredictably as plans grow.
+func (r *Report) sortDiags(g *dag.Graph) {
 	sort.SliceStable(r.Diags, func(i, j int) bool {
 		a, b := r.Diags[i], r.Diags[j]
 		if a.Severity != b.Severity {
@@ -250,6 +273,14 @@ func (r *Report) finalize() {
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code
+		}
+		as, ar := diagKey(a, g)
+		bs, br := diagKey(b, g)
+		if as != bs {
+			return as < bs
+		}
+		if ar != br {
+			return ar < br
 		}
 		at, bt := ir.TaskID(-1), ir.TaskID(-1)
 		if len(a.Tasks) > 0 {
@@ -263,6 +294,18 @@ func (r *Report) finalize() {
 		}
 		return a.Message < b.Message
 	})
+}
+
+// Attach merges externally produced diagnostics (the cert budget and
+// gap lints ride along here) into the report and restores the
+// canonical (severity, pass, step, rank) order. g may be nil when the
+// extra diagnostics carry no task references.
+func (r *Report) Attach(g *dag.Graph, ds ...Diag) {
+	if len(ds) == 0 {
+		return
+	}
+	r.Diags = append(r.Diags, ds...)
+	r.sortDiags(g)
 }
 
 // Plan statically analyzes a compiled plan. It never executes the
@@ -321,6 +364,6 @@ func Plan(k *kernel.Kernel, opts Options) (*Report, error) {
 	if opts.Checks&CheckCoverage != 0 {
 		r.addLimited(checkCoverage(v), opts.MaxDiagsPerClass)
 	}
-	r.finalize()
+	r.sortDiags(v.g)
 	return r, nil
 }

@@ -329,3 +329,54 @@ func ExampleReport_String() {
 	fmt.Print(r.String())
 	// Output: plan demo: 0 error(s), 0 warning(s), 0 note(s)
 }
+
+// TestDiagOrderGolden pins the canonical diagnostic order when several
+// passes fire at the same schedule step: (severity, pass code, the
+// primary task's step and rank, task ID, message). The diagnostics are
+// attached deliberately scrambled — with same-step findings from two
+// different passes interleaved — and the golden holds the one
+// canonical rendering.
+func TestDiagOrderGolden(t *testing.T) {
+	k := compile(t, "ring-allreduce", 1, 4)
+	g := k.Graph
+
+	// Pick one task per (step, rank) pair used below.
+	at := func(step, rank int) ir.TaskID {
+		for id, task := range g.Tasks {
+			if int(task.Step) == step && int(task.Src) == rank {
+				return ir.TaskID(id)
+			}
+		}
+		t.Fatalf("no task at step %d rank %d", step, rank)
+		return 0
+	}
+	mk := func(code string, sev analyze.Severity, step, rank int) analyze.Diag {
+		return analyze.Diag{Code: code, Severity: sev,
+			Message: fmt.Sprintf("synthetic %s finding at step %d rank %d", code, step, rank),
+			Tasks:   []ir.TaskID{at(step, rank)}}
+	}
+	r := &analyze.Report{Kernel: "order-demo"}
+	// Scrambled: two passes ("alpha-pass", "beta-pass") firing at the
+	// same steps, ranks out of order, a plan-wide note in between.
+	r.Attach(g,
+		mk("beta-pass", analyze.SevWarn, 2, 1),
+		mk("alpha-pass", analyze.SevWarn, 2, 3),
+		analyze.Diag{Code: "alpha-pass", Severity: analyze.SevWarn, Message: "plan-wide note"},
+		mk("alpha-pass", analyze.SevWarn, 2, 1),
+		mk("beta-pass", analyze.SevWarn, 0, 2),
+		mk("alpha-pass", analyze.SevWarn, 0, 0),
+		mk("beta-pass", analyze.SevError, 2, 2),
+		mk("alpha-pass", analyze.SevWarn, 1, 2),
+	)
+	golden(t, "diag-order", r)
+
+	// The order must be invariant under attachment order: re-attaching
+	// the same findings one by one in reverse yields the same report.
+	r2 := &analyze.Report{Kernel: "order-demo"}
+	for i := len(r.Diags) - 1; i >= 0; i-- {
+		r2.Attach(g, r.Diags[i])
+	}
+	if r2.String() != r.String() {
+		t.Errorf("order depends on attachment sequence:\n--- bulk ---\n%s--- reversed ---\n%s", r.String(), r2.String())
+	}
+}

@@ -1,0 +1,310 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/resccl/resccl/internal/dag"
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/simcost"
+	"github.com/resccl/resccl/internal/topo"
+)
+
+// Budget lints are the resource-efficiency half of the analyzer: purely
+// static occupancy and memory checks against a configurable envelope.
+// They live here (not in analyze/cert) so every backend compile can
+// attach them without linking the simulator; cert builds its full
+// certificates — lower bounds, gaps, hashes — on top of the same
+// computations.
+
+// Budget lint codes. Budget lints are warnings everywhere (an
+// over-budget plan still runs correctly, just wastefully), but the
+// replan gate and `-strict` tooling treat them as hard failures — a
+// repair plan may relax the optimality gap, never the resource budget.
+const (
+	// CodeBudgetTB fires when a rank's peak concurrent thread-block
+	// occupancy exceeds the SM/channel budget.
+	CodeBudgetTB = "budget-tb"
+	// CodeBudgetMem fires when a rank's buffer high-water mark exceeds
+	// the memory budget.
+	CodeBudgetMem = "budget-mem"
+)
+
+// IsBudgetDiag reports whether a diagnostic code is a resource-budget
+// violation — the class the replan gate refuses to relax.
+func IsBudgetDiag(code string) bool {
+	return code == CodeBudgetTB || code == CodeBudgetMem
+}
+
+// Budget is the resource envelope a plan is certified against.
+type Budget struct {
+	// MaxTBsPerRank caps the peak number of concurrently active thread
+	// blocks on any one rank — the SM/channel budget. The default (32)
+	// is deliberately generous: an A100 has 108 SMs and NCCL itself
+	// runs up to 32 channels, so only a genuinely wasteful plan trips
+	// it.
+	MaxTBsPerRank int
+	// MaxBufferFactor caps the per-rank buffer high-water mark as a
+	// multiple of the per-rank payload S (default 2.0: a plan may stage
+	// at most one full extra copy).
+	MaxBufferFactor float64
+}
+
+// DefaultBudget returns the generous default envelope.
+func DefaultBudget() Budget {
+	return Budget{MaxTBsPerRank: 32, MaxBufferFactor: 2}
+}
+
+// Normalize substitutes the DefaultBudget values for zero-value fields.
+func (b Budget) Normalize() Budget {
+	d := DefaultBudget()
+	if b.MaxTBsPerRank <= 0 {
+		b.MaxTBsPerRank = d.MaxTBsPerRank
+	}
+	if b.MaxBufferFactor <= 0 {
+		b.MaxBufferFactor = d.MaxBufferFactor
+	}
+	return b
+}
+
+// BudgetLints statically checks the plan against the budget — no
+// simulation — and returns SevWarn diagnostics for violations. It is
+// cheap enough to ride every backend compile. Non-positive bufferBytes
+// and chunkBytes take the certification defaults (64 MiB, 1 MiB); a
+// zero-value budget takes DefaultBudget.
+func BudgetLints(k *kernel.Kernel, tp *topo.Topology, bufferBytes, chunkBytes int64, b Budget) []Diag {
+	if k == nil || k.Graph == nil || tp == nil {
+		return nil
+	}
+	if bufferBytes <= 0 {
+		bufferBytes = 64 << 20
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	b = b.Normalize()
+	var ds []Diag
+	peakTBs, _ := PlanOccupancy(k, bufferBytes, chunkBytes)
+	if peakTBs > b.MaxTBsPerRank {
+		ds = append(ds, Diag{Code: CodeBudgetTB, Severity: SevWarn,
+			Message: fmt.Sprintf(
+				"peak concurrent thread blocks per rank %d exceeds the SM/channel budget %d",
+				peakTBs, b.MaxTBsPerRank)})
+	}
+	budgetBytes := int64(b.MaxBufferFactor * float64(bufferBytes))
+	if peak := BufferHighWater(k, bufferBytes); budgetBytes > 0 && peak > budgetBytes {
+		ds = append(ds, Diag{Code: CodeBudgetMem, Severity: SevWarn,
+			Message: fmt.Sprintf(
+				"per-rank buffer high-water mark %d bytes exceeds the budget %d bytes (%.2g× payload)",
+				peak, budgetBytes, b.MaxBufferFactor)})
+	}
+	return ds
+}
+
+// PlanOccupancy statically replays the §4.4 window recurrence (the same
+// one the feasibility pass and talloc.EstimateWindows use) with the
+// protocol tier's α scaling and wire-byte inflation applied, derives
+// each thread block's activity window [first task start, last task
+// finish], and sweeps per-rank concurrency. It returns the busiest
+// rank's peak count of concurrently active thread blocks and the
+// dead-resource ratio: 1 − Σ busy / Σ activity span over all thread
+// blocks (0 when the plan keeps every reserved TB streaming, → 1 when
+// TBs mostly sit blocked). Baseline kernels carry no pipeline order
+// (TaskPos is nil); for those every TB is live for the whole run, so
+// the static per-rank TB count is the honest answer and the idle ratio
+// is reported as zero (unknowable without a schedule).
+func PlanOccupancy(k *kernel.Kernel, bufferBytes, chunkBytes int64) (peakTBs int, idleRatio float64) {
+	g := k.Graph
+	if len(k.TaskPos) != len(g.Tasks) || len(g.Tasks) == 0 ||
+		len(k.SendTB) != len(g.Tasks) || len(k.RecvTB) != len(g.Tasks) {
+		return k.MaxTBsPerRank(), 0
+	}
+
+	params := simcost.Params(k.Protocol)
+	plan := simcost.PlanFor(bufferBytes, params.EffectiveChunk(chunkBytes), g.Algo.NChunks)
+	n := float64(plan.NMicroBatches)
+	wireChunk := plan.ChunkBytes / params.BWFactor
+
+	// The recurrence: per-instance cost, dependency starts, link-window
+	// turns — estimateMakespan's recurrence with tier scaling.
+	order := make([]ir.TaskID, len(g.Tasks))
+	for t := range order {
+		order[t] = ir.TaskID(t)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return k.TaskPos[order[i]] < k.TaskPos[order[j]]
+	})
+	start := make([]float64, len(g.Tasks))
+	finish := make([]float64, len(g.Tasks))
+	perInst := make([]float64, len(g.Tasks))
+	linkHist := make(map[topo.LinkID][]ir.TaskID)
+	for _, t := range order {
+		path := g.Paths[t]
+		per := path.Alpha.Seconds()*params.AlphaFactor + wireChunk/path.TBCap
+		perInst[t] = per
+		s, f := 0.0, 0.0
+		for _, d := range g.Deps[t] {
+			if int(d) < 0 || int(d) >= len(g.Tasks) {
+				continue
+			}
+			if x := start[d] + perInst[d]; x > s {
+				s = x
+			}
+			if x := finish[d] + per; x > f {
+				f = x
+			}
+		}
+		for _, l := range g.Links[t] {
+			hist := linkHist[l]
+			win := g.LinkWindows[l]
+			if win < 1 {
+				win = 1
+			}
+			if len(hist) >= win {
+				if e := finish[hist[len(hist)-win]]; e > s {
+					s = e
+				}
+			}
+		}
+		if x := s + n*per; x > f {
+			f = x
+		}
+		start[t], finish[t] = s, f
+		for _, l := range g.Links[t] {
+			linkHist[l] = append(linkHist[l], t)
+		}
+	}
+
+	// TB activity windows: a TB is reserved from its first task's start
+	// to its last task's finish; its busy time is the transfer work of
+	// its tasks.
+	type window struct {
+		lo, hi float64
+		busy   float64
+		live   bool
+	}
+	wins := make([]window, len(k.TBs))
+	account := func(tb int, t ir.TaskID) {
+		if tb < 0 || tb >= len(wins) {
+			return
+		}
+		w := &wins[tb]
+		if !w.live || start[t] < w.lo {
+			w.lo = start[t]
+		}
+		if !w.live || finish[t] > w.hi {
+			w.hi = finish[t]
+		}
+		w.busy += n * perInst[t]
+		w.live = true
+	}
+	for t := range g.Tasks {
+		account(k.SendTB[t], ir.TaskID(t))
+		account(k.RecvTB[t], ir.TaskID(t))
+	}
+
+	// Per-rank concurrency sweep: +1 at window open, −1 at close, with
+	// closes processed before opens at equal times so back-to-back
+	// windows don't count as overlapping.
+	type event struct {
+		at    float64
+		delta int
+	}
+	events := make(map[ir.Rank][]event)
+	totalBusy, totalSpan := 0.0, 0.0
+	for i, w := range wins {
+		if !w.live {
+			continue
+		}
+		r := k.TBs[i].Rank
+		events[r] = append(events[r], event{w.lo, +1}, event{w.hi, -1})
+		span := w.hi - w.lo
+		busy := w.busy
+		if busy > span {
+			busy = span // replay slack; a TB can't be busier than live
+		}
+		totalBusy += busy
+		totalSpan += span
+	}
+	peak := 0
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].at != evs[j].at {
+				return evs[i].at < evs[j].at
+			}
+			return evs[i].delta < evs[j].delta
+		})
+		cur := 0
+		for _, e := range evs {
+			cur += e.delta
+			if cur > peak {
+				peak = cur
+			}
+		}
+	}
+	if peak == 0 {
+		peak = k.MaxTBsPerRank()
+	}
+	idle := 0.0
+	if totalSpan > 0 {
+		idle = 1 - totalBusy/totalSpan
+		if idle < 0 {
+			idle = 0
+		}
+		if idle > 1 {
+			idle = 1
+		}
+	}
+	return peak, idle
+}
+
+// BufferHighWater returns the busiest rank's buffer high-water mark:
+// the number of distinct chunks ever resident on the rank (initially
+// held under the operator's precondition, or delivered by a task)
+// times the chunk's buffer share. This is exactly what talloc must
+// reserve — chunks live at isolated addresses for the whole run.
+func BufferHighWater(k *kernel.Kernel, bufferBytes int64) int64 {
+	g := k.Graph
+	a := g.Algo
+	if a.NChunks <= 0 || a.NRanks <= 0 {
+		return 0
+	}
+	perChunk := (bufferBytes + int64(a.NChunks) - 1) / int64(a.NChunks)
+	resident := make(map[ir.Rank]map[ir.ChunkID]bool)
+	mark := func(r ir.Rank, c ir.ChunkID) {
+		if resident[r] == nil {
+			resident[r] = make(map[ir.ChunkID]bool)
+		}
+		resident[r][c] = true
+	}
+	ranks := a.NRanks
+	if a.Group != nil {
+		// Group collectives only touch member ranks' buffers.
+		for _, r := range a.Group {
+			for c := 0; c < a.NChunks; c++ {
+				if dag.AlgoHolds(a, r, ir.ChunkID(c)) {
+					mark(r, ir.ChunkID(c))
+				}
+			}
+		}
+	} else {
+		for r := 0; r < ranks; r++ {
+			for c := 0; c < a.NChunks; c++ {
+				if dag.AlgoHolds(a, ir.Rank(r), ir.ChunkID(c)) {
+					mark(ir.Rank(r), ir.ChunkID(c))
+				}
+			}
+		}
+	}
+	for _, t := range g.Tasks {
+		mark(t.Dst, t.Chunk)
+	}
+	var peak int64
+	for _, chunks := range resident {
+		if b := int64(len(chunks)) * perChunk; b > peak {
+			peak = b
+		}
+	}
+	return peak
+}

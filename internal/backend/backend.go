@@ -72,11 +72,18 @@ type Plan struct {
 // vet runs the compile-time analysis gate on a freshly built plan. A
 // plan that fails the quick subset would hang or corrupt a run, so
 // compilation itself fails; the report is attached either way for
-// callers that inspect warnings.
-func vet(p *Plan) (*Plan, error) {
+// callers that inspect warnings. The resource-efficiency budget lints
+// (analyze.BudgetLints) ride along as warnings: an over-budget plan
+// still runs correctly, so the compile gate admits it, but `-strict`
+// tooling, the tune sweep and the replan gate act on the attached
+// findings.
+func vet(p *Plan, tp *topo.Topology) (*Plan, error) {
 	report, err := analyze.Plan(p.Kernel, analyze.Options{Checks: analyze.CheckQuick})
 	if err != nil {
 		return nil, fmt.Errorf("backend %s: vet: %w", p.Backend, err)
+	}
+	if tp != nil {
+		report.Attach(p.Kernel.Graph, analyze.BudgetLints(p.Kernel, tp, 0, 0, analyze.Budget{})...)
 	}
 	p.Vet = report
 	if err := report.Err(); err != nil {

@@ -225,11 +225,11 @@ func (c *Cache) CompileNoted(ctx context.Context, b Backend, req Request) (*Plan
 		sh.mu.Unlock()
 		return sh.wait(ctx, e, true)
 	}
-	// Miss: start a new flight. The compile context is detached from the
-	// caller's: it is cancelled by the last departing waiter, not by any
-	// single caller.
+	// Miss: start a new flight. The compile context is deliberately
+	// detached from the caller's: it is cancelled by the last departing
+	// waiter, not by any single caller.
 	sh.misses++
-	cctx, cancel := context.WithCancel(context.Background())
+	cctx, cancel := context.WithCancel(context.Background()) //resccl:allow ctxflow
 	e := &cacheEntry{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
 	sh.entries[key] = e
 	sh.mu.Unlock()
@@ -245,7 +245,8 @@ func (c *Cache) CompileNoted(ctx context.Context, b Backend, req Request) (*Plan
 // from the flight in the latter case.
 func (sh *cacheShard) wait(ctx context.Context, e *cacheEntry, hit bool) (*Plan, bool, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		// A nil ctx means "never cancel" by the Compile contract.
+		ctx = context.Background() //resccl:allow ctxflow
 	}
 	select {
 	case <-e.done:

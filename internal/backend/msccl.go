@@ -95,7 +95,7 @@ func (m *MSCCL) Compile(ctx context.Context, req Request) (*Plan, error) {
 	k.MBBarrier = !stageLevel
 	k.Protocol = req.Protocol
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(start)}}
-	return vet(&Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages})
+	return vet(&Plan{Backend: m.Name(), Algo: req.Algo, Kernel: k, Stages: stages}, req.Topo)
 }
 
 // stageLevelTBs partitions tasks into stage groups (consecutive stages

@@ -171,5 +171,5 @@ func (n *NCCL) Compile(ctx context.Context, req Request) (*Plan, error) {
 	k.MBBarrier = true // algorithm-level (lazy) execution
 	k.Protocol = req.Protocol
 	stages := []obs.Stage{{Name: "compile", Duration: time.Since(compileStart)}}
-	return vet(&Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages})
+	return vet(&Plan{Backend: n.Name(), Algo: algo, Kernel: k, Stages: stages}, req.Topo)
 }

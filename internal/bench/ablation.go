@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 
 	"github.com/resccl/resccl/internal/backend"
@@ -196,7 +195,7 @@ func allocAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int6
 	allocs := []core.AllocPolicy{core.AllocConnectionBased, core.AllocStateBased}
 	rows := make([][]string, len(allocs))
 	err := runCells(opts, len(allocs), func(c int) error {
-		comp, err := core.Compile(context.Background(), algo, tp, core.Options{Alloc: allocs[c]})
+		comp, err := core.Compile(opts.ctx(), algo, tp, core.Options{Alloc: allocs[c]})
 		if err != nil {
 			return err
 		}
@@ -227,7 +226,7 @@ func policyAblation(opts Options, tp *topo.Topology, algo *ir.Algorithm, buf int
 	policies := []sched.Policy{sched.PolicySequential, sched.PolicyRR, sched.PolicyHPDS}
 	rows := make([][]string, len(policies))
 	err := runCells(opts, len(policies), func(c int) error {
-		comp, err := core.Compile(context.Background(), algo, tp, core.Options{Policy: policies[c]})
+		comp, err := core.Compile(opts.ctx(), algo, tp, core.Options{Policy: policies[c]})
 		if err != nil {
 			return err
 		}

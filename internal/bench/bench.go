@@ -127,6 +127,19 @@ type Options struct {
 	// leaves requests alone: plans simulate at Simple-tier cost, as
 	// before protocol tiers existed.
 	Protocol ir.Protocol
+	// Ctx, when non-nil, cancels in-flight compilations at their phase
+	// boundaries when the harness is interrupted (the ressclbench CLI
+	// passes its signal-scoped root context). Nil never cancels.
+	Ctx context.Context
+}
+
+// ctx returns the harness context, never nil (a nil Options.Ctx means
+// "never cancel" by contract).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background() //resccl:allow ctxflow
 }
 
 // init fills derived defaults; every experiment calls it on entry.
@@ -143,7 +156,7 @@ func compile(opts Options, b backend.Backend, req backend.Request) (*backend.Pla
 	if opts.Protocol.Forced() && req.Protocol == ir.ProtoAuto {
 		req.Protocol = opts.Protocol
 	}
-	plan, hit, err := opts.Cache.CompileNoted(context.Background(), b, req)
+	plan, hit, err := opts.Cache.CompileNoted(opts.ctx(), b, req)
 	if err == nil && !hit && opts.Trace != nil && req.Algo != nil {
 		opts.Trace.AddStages("compile", b.Name()+"/"+req.Algo.Name, plan.Stages)
 	}

@@ -28,7 +28,9 @@ func TuneDispatch(opts Options) ([]*Table, error) {
 	if opts.Stats != nil {
 		topts.Stats = opts.Stats
 	}
-	res, err := tune.Sweep(tp, topts)
+	// Experiment entry points share the registry's Run(Options) shape;
+	// the caller's context rides in Options rather than a parameter.
+	res, err := tune.Sweep(opts.ctx(), tp, topts) //resccl:allow ctxflow
 	if err != nil {
 		return nil, err
 	}
@@ -36,7 +38,7 @@ func TuneDispatch(opts Options) ([]*Table, error) {
 	dispatch := &Table{
 		ID:     "tune",
 		Title:  "Autotuned dispatch table (2×8 A100, seed 1)",
-		Header: []string{"op", "bucket ≤", "algorithm", "protocol", "probe", "completion (µs)"},
+		Header: []string{"op", "bucket ≤", "algorithm", "protocol", "probe", "completion (µs)", "gap %"},
 	}
 	for _, e := range res.Table.Entries {
 		bucket := "∞"
@@ -44,10 +46,12 @@ func TuneDispatch(opts Options) ([]*Table, error) {
 			bucket = mbLabel(e.MaxBytes)
 		}
 		dispatch.AddRow(e.Op, bucket, e.Algorithm, e.Protocol,
-			mbLabel(e.ProbeBytes), fmt.Sprintf("%.1f", e.CompletionUS))
+			mbLabel(e.ProbeBytes), fmt.Sprintf("%.1f", e.CompletionUS),
+			fmt.Sprintf("%.2f", e.GapPct))
 	}
 	dispatch.Notes = append(dispatch.Notes,
-		fmt.Sprintf("table hash %s…; same topology and seed regenerate identical bytes", res.Table.Hash()[:12]))
+		fmt.Sprintf("table hash %s…; same topology and seed regenerate identical bytes", res.Table.Hash()[:12]),
+		fmt.Sprintf("gap %% is each winner's certified distance from its α–β lower bound; %d candidates pruned by the resource budget", len(res.Pruned)))
 
 	cmp, err := tuneComparison(opts, tp, res)
 	if err != nil {

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -247,7 +246,7 @@ func Figure10a(opts Options) ([]*Table, error) {
 		src := hmARSource(nNodes, gpn)
 		// Correctness of the generated program is covered by tests; the
 		// scalability run times only the paper's four phases.
-		c, err := core.CompileDSL(context.Background(), src, tp, core.Options{SkipVerify: true})
+		c, err := core.CompileDSL(opts.ctx(), src, tp, core.Options{SkipVerify: true})
 		if err != nil {
 			return fmt.Errorf("fig10a %d GPUs: %w", nNodes*gpn, err)
 		}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"github.com/resccl/resccl/internal/analyze"
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/collective"
 	"github.com/resccl/resccl/internal/dag"
 	"github.com/resccl/resccl/internal/fault"
@@ -210,6 +211,17 @@ func compileRepair(algo *ir.Algorithm, tp *topo.Topology, nMB int, proto ir.Prot
 	}
 	if err := report.Err(); err != nil {
 		return nil, fmt.Errorf("rt: replan gate rejected the repair plan: %w", err)
+	}
+	// Resource-efficiency certification of repair plans: a degraded
+	// fabric may cost optimality, so the gate never judges the gap —
+	// but the budget is a hard line. Budget lints are warnings on the
+	// healthy compile path; here they reject: a repair plan that
+	// over-subscribes SMs or buffers on an already-degraded system
+	// would amplify the incident it is meant to resolve.
+	for _, d := range cert.BudgetLints(k, tp, cert.Options{}) {
+		if cert.IsBudgetDiag(d.Code) {
+			return nil, fmt.Errorf("rt: replan gate rejected the repair plan: %s: %s", d.Code, d.Message)
+		}
 	}
 	return k, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/ir"
@@ -51,9 +52,13 @@ type SimulateRequest struct {
 	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
 }
 
-// AnalyzeRequest compiles and then runs the full static analyzer.
+// AnalyzeRequest compiles and then runs the full static analyzer plus
+// the resource-efficiency certifier.
 type AnalyzeRequest struct {
 	CompileRequest
+	// BufferBytes is the per-rank payload the certificate is issued for
+	// (default 64 MiB).
+	BufferBytes int64 `json:"buffer_bytes,omitempty"`
 }
 
 // CompileResponse summarises a compiled plan.
@@ -79,7 +84,8 @@ type SimulateResponse struct {
 	MicroBatches int     `json:"micro_batches"`
 }
 
-// AnalyzeResponse reports the analyzer verdict.
+// AnalyzeResponse reports the analyzer verdict and the plan's
+// resource-efficiency certificate.
 type AnalyzeResponse struct {
 	CompileResponse
 	Clean    bool     `json:"clean"`
@@ -87,6 +93,11 @@ type AnalyzeResponse struct {
 	Warnings int      `json:"warnings"`
 	Notes    int      `json:"notes"`
 	Diags    []string `json:"diags,omitempty"`
+	// Certificate is the sha256-hashed resource-efficiency certificate
+	// (optimality gap, occupancy and buffer peaks vs. budget, idle
+	// ratio). Omitted when certification fails — the analyzer verdict
+	// above still stands on its own.
+	Certificate *cert.Certificate `json:"certificate,omitempty"`
 }
 
 // maxDiagsInResponse bounds the diagnostic strings echoed to clients;

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/resccl/resccl/internal/analyze"
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/obs"
 	"github.com/resccl/resccl/internal/sim"
@@ -214,8 +215,11 @@ func (s *Service) Simulate(ctx context.Context, req *SimulateRequest) (*Simulate
 	return out, nil
 }
 
-// Analyze compiles a plan and runs every static-analysis pass on it.
+// Analyze compiles a plan, runs every static-analysis pass on it, and
+// certifies its resource efficiency (optimality gap against the α–β
+// lower bound, occupancy and buffer peaks against the default budget).
 func (s *Service) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	certOpts := cert.Options{BufferBytes: req.BufferBytes}
 	var out *AnalyzeResponse
 	err := s.run(ctx, &req.CompileRequest, func(ctx context.Context, b backend.Backend, breq backend.Request) error {
 		start := time.Now()
@@ -227,6 +231,10 @@ func (s *Service) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeRes
 		if err != nil {
 			return fmt.Errorf("serve: analyze: %w", err)
 		}
+		// Budget lints join the report; certification failure (e.g. a
+		// degenerate plan with no lower bound) is not an analysis error.
+		rep.Attach(plan.Kernel.Graph, cert.BudgetLints(plan.Kernel, breq.Topo, certOpts)...)
+		certificate, _ := cert.Certify(plan.Kernel, breq.Topo, certOpts)
 		errs, warns, infos := rep.Counts()
 		resp := &AnalyzeResponse{
 			CompileResponse: *compileResponse(plan, hit, time.Since(start)),
@@ -234,6 +242,7 @@ func (s *Service) Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeRes
 			Errors:          errs,
 			Warnings:        warns,
 			Notes:           infos,
+			Certificate:     certificate,
 		}
 		for i, d := range rep.Diags {
 			if i == maxDiagsInResponse {

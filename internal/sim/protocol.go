@@ -1,53 +1,18 @@
 package sim
 
-import "github.com/resccl/resccl/internal/ir"
+import (
+	"github.com/resccl/resccl/internal/ir"
+	"github.com/resccl/resccl/internal/simcost"
+)
 
-// ProtocolParams are the cost-model parameters of one protocol tier,
-// applied on top of a path's base α/β constants:
-//
-//   - AlphaFactor scales the per-chunk startup latency α. LL's
-//     flag-in-data synchronization skips the handshake round trip that
-//     dominates α; LL128 keeps most of that win.
-//   - BWFactor is the fraction of wire bandwidth that carries payload.
-//     LL spends every second 8-byte word on a flag (1/2); LL128 spends 8
-//     bytes per 128-byte line (120/128). The simulator charges it by
-//     inflating the wire bytes of each chunk, so link capacities and
-//     thread-block capabilities stay expressed in wire bytes and
-//     contention between tiers remains physical.
-//   - MaxChunkBytes caps the transfer chunk size (0 = uncapped). Real
-//     NCCL shrinks its slice granularity under LL/LL128 so flag polling
-//     granularity stays fine; here the cap is also what lets the
-//     low-latency tiers win at small sizes, since a small buffer split
-//     into sub-64KiB chunks amortizes α across micro-batches.
-type ProtocolParams struct {
-	AlphaFactor   float64
-	BWFactor      float64
-	MaxChunkBytes int64
-}
+// The protocol-tier cost model lives in internal/simcost so static
+// analyses can price plans with the simulator's exact constants without
+// linking the event engine; the aliases below keep sim's historical API.
 
-// Params returns the cost-model parameters of a protocol tier.
-// ProtoAuto resolves to ProtoSimple: a kernel whose protocol was never
-// set simulates exactly as before the tier dimension existed.
-func Params(p ir.Protocol) ProtocolParams {
-	switch p {
-	case ir.ProtoLL:
-		return ProtocolParams{AlphaFactor: 0.2, BWFactor: 0.5, MaxChunkBytes: 64 << 10}
-	case ir.ProtoLL128:
-		return ProtocolParams{AlphaFactor: 0.4, BWFactor: 120.0 / 128.0, MaxChunkBytes: 256 << 10}
-	default: // ProtoSimple, ProtoAuto
-		return ProtocolParams{AlphaFactor: 1, BWFactor: 1, MaxChunkBytes: 0}
-	}
-}
+// ProtocolParams are the cost-model parameters of one protocol tier;
+// see simcost.ProtocolParams.
+type ProtocolParams = simcost.ProtocolParams
 
-// EffectiveChunk applies the tier's chunk cap to a requested chunk size
-// (after substituting the 1 MiB default for non-positive requests, as
-// PlanFor does).
-func (p ProtocolParams) EffectiveChunk(chunkBytes int64) int64 {
-	if chunkBytes <= 0 {
-		chunkBytes = 1 << 20
-	}
-	if p.MaxChunkBytes > 0 && chunkBytes > p.MaxChunkBytes {
-		chunkBytes = p.MaxChunkBytes
-	}
-	return chunkBytes
-}
+// Params returns the cost-model parameters of a protocol tier; see
+// simcost.Params.
+func Params(p ir.Protocol) ProtocolParams { return simcost.Params(p) }

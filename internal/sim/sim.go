@@ -20,6 +20,7 @@ import (
 	"github.com/resccl/resccl/internal/fault"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/kernel"
+	"github.com/resccl/resccl/internal/simcost"
 	"github.com/resccl/resccl/internal/topo"
 )
 
@@ -77,34 +78,14 @@ type MultiConfig struct {
 	FullResolve bool
 }
 
-// Plan describes the derived micro-batch geometry of a run.
-type Plan struct {
-	// NMicroBatches is n of Eq. 3–5.
-	NMicroBatches int
-	// ChunkBytes is the effective per-transfer chunk size in bytes.
-	ChunkBytes float64
-}
+// Plan describes the derived micro-batch geometry of a run; see
+// simcost.Plan.
+type Plan = simcost.Plan
 
 // PlanFor derives the micro-batch count and effective chunk size from a
-// buffer size: the buffer divides into NChunks chunks per micro-batch;
-// n = ⌈S / (chunk·NChunks)⌉ with the chunk shrunk exactly so that
-// n·chunk·NChunks == S.
+// buffer size; see simcost.PlanFor.
 func PlanFor(bufferBytes, chunkBytes int64, nChunks int) Plan {
-	if bufferBytes <= 0 {
-		bufferBytes = 1
-	}
-	if chunkBytes <= 0 {
-		chunkBytes = 1 << 20
-	}
-	perMB := chunkBytes * int64(nChunks)
-	n := (bufferBytes + perMB - 1) / perMB
-	if n < 1 {
-		n = 1
-	}
-	return Plan{
-		NMicroBatches: int(n),
-		ChunkBytes:    float64(bufferBytes) / (float64(n) * float64(nChunks)),
-	}
+	return simcost.PlanFor(bufferBytes, chunkBytes, nChunks)
 }
 
 // InstanceSpan records one executed task invocation when the run is

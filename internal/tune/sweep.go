@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/backend"
 	"github.com/resccl/resccl/internal/expert"
 	"github.com/resccl/resccl/internal/ir"
@@ -51,6 +52,12 @@ type Options struct {
 	ChunkBytes int64
 	// Stats, when non-nil, accumulates simulator event counts.
 	Stats Stats
+	// Budget is the resource envelope candidates must fit before they
+	// are measured at all: any candidate whose compiled plan trips a
+	// cert.BudgetLints violation (peak thread blocks per rank, buffer
+	// high-water mark) is pruned from the sweep and recorded in
+	// Result.Pruned. Nil applies cert.DefaultBudget.
+	Budget *cert.Budget
 }
 
 // DefaultSizes is the full sweep grid: 64 KiB to 1 GiB in ×4 steps,
@@ -123,40 +130,99 @@ type Cell struct {
 	Completion float64
 }
 
+// Pruned records one candidate the sweep refused to measure: its
+// compiled plan violates the resource budget, so it can never be
+// dispatched no matter how fast it simulates.
+type Pruned struct {
+	Op   ir.OpType
+	Name string
+	// Reason is the first budget lint that fired (code: message).
+	Reason string
+}
+
 // Result carries the emitted dispatch table plus every measured cell
 // for reporting (the bench experiment's comparison tables).
 type Result struct {
 	Table *Table
 	Cells []Cell
+	// Certs are the winners' resource-efficiency certificates, aligned
+	// index-for-index with Table.Entries. Each entry's GapPct/CertHash
+	// are drawn from the corresponding certificate.
+	Certs []*cert.Certificate
+	// Pruned lists candidates dropped by the budget pre-check before
+	// measurement.
+	Pruned []Pruned
 }
 
 // Sweep tunes tp: it gathers candidates (every compatible registered
-// algorithm plus the sketch search's verified winners), measures every
-// (op, size, candidate, tier) cell through the plan cache and the
-// simulator, and emits the dispatch table of per-bucket winners.
+// algorithm plus the sketch search's verified winners), prunes any
+// whose compiled plan violates the resource budget, measures every
+// surviving (op, size, candidate, tier) cell through the plan cache
+// and the simulator, and emits the dispatch table of per-bucket
+// winners, each carrying its resource-efficiency certificate.
 // Everything is deterministic: same topology, options and seed produce
-// a byte-identical table and identical cells.
-func Sweep(tp *topo.Topology, opts Options) (*Result, error) {
+// a byte-identical table and identical cells. ctx cancels the sweep at
+// compile boundaries; nil never cancels.
+func Sweep(ctx context.Context, tp *topo.Topology, opts Options) (*Result, error) {
 	if tp == nil {
 		return nil, fmt.Errorf("tune: sweep needs a topology")
 	}
 	opts = opts.withDefaults()
 	be := backend.NewResCCL()
+	budget := cert.DefaultBudget()
+	if opts.Budget != nil {
+		budget = *opts.Budget
+	}
 
 	type opPlan struct {
 		op    ir.OpType
 		cands []Candidate
 	}
+	res := &Result{}
 	plans := make([]opPlan, 0, len(opts.Ops))
+	// The budget pre-check compiles each candidate under the sweep's
+	// highest tier — the last listed protocol, Simple by default — which
+	// the measurement pass compiles anyway, so the shared cache keeps
+	// miss counts identical to an unpruned sweep.
+	pruneProto := opts.Protocols[len(opts.Protocols)-1]
 	for _, op := range opts.Ops {
 		cands, err := candidates(tp, op, opts)
 		if err != nil {
 			return nil, err
 		}
-		if len(cands) == 0 {
+		kept := cands[:0]
+		for _, cand := range cands {
+			plan, _, err := opts.Cache.CompileNoted(ctx, be, backend.Request{
+				Algo: cand.Algo, Topo: tp, Protocol: pruneProto,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("tune: budget pre-check %s/%v: %w", cand.Name, pruneProto, err)
+			}
+			lints := cert.BudgetLints(plan.Kernel, tp, cert.Options{
+				ChunkBytes: opts.ChunkBytes, Budget: budget,
+			})
+			pruned := false
+			for _, d := range lints {
+				if cert.IsBudgetDiag(d.Code) {
+					res.Pruned = append(res.Pruned, Pruned{
+						Op: op, Name: cand.Name,
+						Reason: d.Code + ": " + d.Message,
+					})
+					pruned = true
+					break
+				}
+			}
+			if !pruned {
+				kept = append(kept, cand)
+			}
+		}
+		if len(kept) == 0 {
+			if len(cands) > 0 {
+				return nil, fmt.Errorf("tune: every candidate algorithm for %v on %s violates the resource budget (%d pruned)", op, tp, len(cands))
+			}
 			return nil, fmt.Errorf("tune: no candidate algorithm for %v on %s", op, tp)
 		}
-		plans = append(plans, opPlan{op: op, cands: cands})
+		plans = append(plans, opPlan{op: op, cands: kept})
 	}
 
 	// Flatten the grid into independent cells with pre-indexed slots so
@@ -188,7 +254,7 @@ func Sweep(tp *topo.Topology, opts Options) (*Result, error) {
 	}
 	err := runCells(opts, len(cells), func(i int) error {
 		c := &cells[i]
-		plan, _, err := opts.Cache.CompileNoted(context.Background(), be, backend.Request{
+		plan, _, err := opts.Cache.CompileNoted(ctx, be, backend.Request{
 			Algo: c.Candidate.Algo, Topo: tp, Protocol: c.Protocol,
 		})
 		if err != nil {
@@ -229,13 +295,36 @@ func Sweep(tp *topo.Topology, opts Options) (*Result, error) {
 			if si < len(blocks[pi])-1 {
 				entry.MaxBytes = geomMid(b.size, blocks[pi][si+1].size)
 			}
+			// Certify the winner at its probe point: the completion was
+			// just measured, so certification is a pure recomputation —
+			// no extra simulation, and the winner's plan is a cache hit.
+			plan, _, err := opts.Cache.CompileNoted(ctx, be, backend.Request{
+				Algo: best.Candidate.Algo, Topo: tp, Protocol: best.Protocol,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("tune: certify %s/%v: %w", best.Candidate.Name, best.Protocol, err)
+			}
+			crt, err := cert.FromCompletion(plan.Kernel, tp, cert.Options{
+				BufferBytes: b.size, ChunkBytes: opts.ChunkBytes, Budget: budget,
+			}, best.Completion)
+			if err != nil {
+				return nil, fmt.Errorf("tune: certify %s/%v at %d: %w", best.Candidate.Name, best.Protocol, b.size, err)
+			}
+			if crt.GapPct < 0 {
+				return nil, fmt.Errorf("tune: unsound certificate for %s/%v at %d: negative optimality gap %.2f%%",
+					best.Candidate.Name, best.Protocol, b.size, crt.GapPct)
+			}
+			entry.GapPct = crt.GapPct
+			entry.CertHash = crt.Hash
+			res.Certs = append(res.Certs, crt)
 			table.Entries = append(table.Entries, entry)
 		}
 	}
 	if err := table.Validate(); err != nil {
 		return nil, fmt.Errorf("tune: emitted an invalid table: %w", err)
 	}
-	return &Result{Table: table, Cells: cells}, nil
+	res.Table, res.Cells = table, cells
+	return res, nil
 }
 
 // tierCovers bounds each tier's swept size range. LL's 64 KiB and

@@ -17,7 +17,10 @@ import (
 )
 
 // Version is the dispatch-table format version this package writes.
-const Version = 1
+// Version 2 added the per-entry resource-efficiency certificate fields
+// (gap_pct, cert_hash); version-1 tables still load, with those fields
+// zero.
+const Version = 2
 
 // Entry is one dispatch decision: for Op at message sizes up to
 // MaxBytes, run Algorithm under Protocol. Entries for one operator form
@@ -38,6 +41,12 @@ type Entry struct {
 	// CompletionUS the winner's simulated wall time there.
 	ProbeBytes   int64   `json:"probe_bytes"`
 	CompletionUS float64 `json:"completion_us"`
+	// GapPct is the winner's certified optimality gap at the probe
+	// point — 100·(completion/α–β lower bound − 1) — and CertHash the
+	// sha256 of its full resource-efficiency certificate
+	// (tune.Result.Certs carries the certificates themselves).
+	GapPct   float64 `json:"gap_pct"`
+	CertHash string  `json:"cert_hash,omitempty"`
 }
 
 // Table is a deterministic dispatch table for one topology. Tables
@@ -97,6 +106,9 @@ func (t *Table) Validate() error {
 		}
 		if e.MaxBytes < 0 {
 			return fmt.Errorf("tune: entry %d (%s): negative max_bytes", i, e.Op)
+		}
+		if e.GapPct < 0 {
+			return fmt.Errorf("tune: entry %d (%s): negative optimality gap %.2f%%", i, e.Op, e.GapPct)
 		}
 		if p := prev[e.Op]; p != nil {
 			if p.MaxBytes == 0 {

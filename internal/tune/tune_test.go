@@ -2,6 +2,7 @@ package tune
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/resccl/resccl/internal/analyze/cert"
 	"github.com/resccl/resccl/internal/ir"
 	"github.com/resccl/resccl/internal/topo"
 )
@@ -31,7 +33,7 @@ func fullSweep2x8(t *testing.T) *Result {
 	}
 	fullSweep.once.Do(func() {
 		tp := topo.New(2, 8, topo.A100())
-		fullSweep.res, fullSweep.err = Sweep(tp, Options{Parallel: true})
+		fullSweep.res, fullSweep.err = Sweep(context.Background(), tp, Options{Parallel: true})
 	})
 	if fullSweep.err != nil {
 		t.Fatalf("full sweep: %v", fullSweep.err)
@@ -41,11 +43,11 @@ func fullSweep2x8(t *testing.T) *Result {
 
 func TestSweepDeterministicAcrossRuns(t *testing.T) {
 	tp := topo.New(2, 4, topo.A100())
-	a, err := Sweep(tp, Options{Quick: true})
+	a, err := Sweep(context.Background(), tp, Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sweep(tp, Options{Quick: true, Parallel: true})
+	b, err := Sweep(context.Background(), tp, Options{Quick: true, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestSweepDeterministicAcrossRuns(t *testing.T) {
 // candidates and tiers measured at that entry's probe size.
 func TestDispatchIsArgmin(t *testing.T) {
 	tp := topo.New(2, 4, topo.A100())
-	res, err := Sweep(tp, Options{Quick: true})
+	res, err := Sweep(context.Background(), tp, Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +115,7 @@ func checkArgmin(t *testing.T, res *Result) {
 
 func TestTableRoundTrip(t *testing.T) {
 	tp := topo.New(2, 4, topo.A100())
-	res, err := Sweep(tp, Options{Quick: true})
+	res, err := Sweep(context.Background(), tp, Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,12 +303,89 @@ func TestSynthesizedPlanWins(t *testing.T) {
 	t.Fatal("no synthesized plan beat the registered algorithms at any swept size")
 }
 
+// TestSweepPrunesBudgetViolators pins the budget gate: under a tight
+// SM/channel budget (2 TBs per rank) the all-to-all mesh AllGather —
+// which needs a thread block per peer in each direction — must be
+// pruned before measurement, the ring (one send + one recv TB per
+// rank) must survive, and no pruned candidate may appear in any
+// measured cell or dispatch entry.
+func TestSweepPrunesBudgetViolators(t *testing.T) {
+	tp := topo.New(1, 8, topo.A100())
+	res, err := Sweep(context.Background(), tp, Options{
+		Ops:       []ir.OpType{ir.OpAllGather},
+		Sizes:     []int64{1 << 20},
+		Protocols: []ir.Protocol{ir.ProtoSimple},
+		Quick:     true,
+		Budget:    &cert.Budget{MaxTBsPerRank: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pruned) == 0 {
+		t.Fatal("tight budget pruned no candidate")
+	}
+	pruned := map[string]bool{}
+	meshPruned := false
+	for _, p := range res.Pruned {
+		pruned[p.Name] = true
+		if p.Name == "mesh-allgather" {
+			meshPruned = true
+			if !strings.Contains(p.Reason, cert.CodeBudgetTB) {
+				t.Errorf("mesh-allgather pruned for %q, want a %s violation", p.Reason, cert.CodeBudgetTB)
+			}
+		}
+	}
+	if !meshPruned {
+		t.Errorf("mesh-allgather survived a 2-TB budget; pruned set: %v", res.Pruned)
+	}
+	if pruned["ring-allgather"] {
+		t.Error("ring-allgather (2 TBs per rank) was pruned")
+	}
+	for _, c := range res.Cells {
+		if pruned[c.Candidate.Name] {
+			t.Errorf("pruned candidate %s was measured anyway", c.Candidate.Name)
+		}
+	}
+	for _, e := range res.Table.Entries {
+		if pruned[e.Algorithm] {
+			t.Errorf("pruned candidate %s was dispatched", e.Algorithm)
+		}
+	}
+}
+
+// TestSweepEntriesCarryCertificates checks every dispatch entry's
+// certificate: aligned with the table, internally consistent (hash,
+// non-negative gap) and matching the entry's pinned gap/hash fields.
+func TestSweepEntriesCarryCertificates(t *testing.T) {
+	tp := topo.New(2, 4, topo.A100())
+	res, err := Sweep(context.Background(), tp, Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Certs) != len(res.Table.Entries) {
+		t.Fatalf("%d certificates for %d entries", len(res.Certs), len(res.Table.Entries))
+	}
+	for i, e := range res.Table.Entries {
+		c := res.Certs[i]
+		if err := c.Verify(); err != nil {
+			t.Errorf("entry %d (%s@%d): %v", i, e.Op, e.ProbeBytes, err)
+		}
+		if e.GapPct != c.GapPct || e.CertHash != c.Hash {
+			t.Errorf("entry %d (%s@%d): gap/hash %.2f%%/%s drifted from certificate %.2f%%/%s",
+				i, e.Op, e.ProbeBytes, e.GapPct, e.CertHash, c.GapPct, c.Hash)
+		}
+		if c.BufferBytes != e.ProbeBytes {
+			t.Errorf("entry %d: certified at %d bytes, probe was %d", i, c.BufferBytes, e.ProbeBytes)
+		}
+	}
+}
+
 func TestSweepRejectsBadInput(t *testing.T) {
-	if _, err := Sweep(nil, Options{}); err == nil {
+	if _, err := Sweep(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("nil topology accepted")
 	}
 	tp := topo.New(2, 2, topo.A100())
-	_, err := Sweep(tp, Options{Ops: []ir.OpType{ir.OpBroadcast}, Quick: true, Protocols: []ir.Protocol{ir.ProtoLL}, Sizes: []int64{1 << 30}})
+	_, err := Sweep(context.Background(), tp, Options{Ops: []ir.OpType{ir.OpBroadcast}, Quick: true, Protocols: []ir.Protocol{ir.ProtoLL}, Sizes: []int64{1 << 30}})
 	if err == nil {
 		t.Fatal("size with no covering tier accepted")
 	}
